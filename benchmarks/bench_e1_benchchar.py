@@ -1,0 +1,31 @@
+"""E1 — Figure "Benchmark characteristics" (`benchchar`).
+
+Regenerates the per-application table: filter counts, peeking and stateful
+filters, shortest/longest path, computation-to-communication ratio, and
+stateful-work percentage, in the paper's stateful-work-ascending order.
+"""
+
+from repro.apps import EVALUATION_SUITE
+from repro.estimate import characteristics_table, format_table
+
+
+def test_e1_benchmark_characteristics(benchmark, report):
+    rows = benchmark.pedantic(
+        characteristics_table, args=(EVALUATION_SUITE,), rounds=1, iterations=1
+    )
+    report("== E1: Benchmark characteristics ==\n" + format_table(rows))
+
+    by_name = {r.name: r for r in rows}
+    # The paper: exactly three stateful benchmarks, with MPEG2's stateful
+    # work insignificant and Radar's dominant.
+    stateful = [r.name for r in rows if r.stateful > 0]
+    assert sorted(stateful) == ["MPEG2Decoder", "Radar", "Vocoder"]
+    assert by_name["MPEG2Decoder"].stateful_work_pct < 10
+    assert by_name["Radar"].stateful_work_pct > 50
+    # Rows are sorted ascending by stateful work (paper's presentation).
+    pcts = [r.stateful_work_pct for r in rows]
+    assert pcts == sorted(pcts)
+    # Peeking structure: ChannelVocoder/FilterBank/FMRadio peek heavily.
+    assert by_name["ChannelVocoder"].peeking >= 16
+    assert by_name["FilterBank"].peeking >= 8
+    assert by_name["BitonicSort"].peeking == 0

@@ -1,0 +1,62 @@
+"""E2 — Figure "Task, Task + Data, and Task + Data + Software Pipeline"
+(`main_comp`).
+
+16-core throughput speedup over single-core for the three cumulative
+strategies.  Paper's headline numbers: task geomean 2.27x; coarse-grained
+data parallelism 9.9x (4.36x over task); adding software pipelining a
+further 1.45x.  We reproduce the ordering and the approximate factors on
+the simulated machine.
+"""
+
+from repro.apps import EVALUATION_SUITE
+from repro.bench import geometric_mean, render_bars, speedup_table, strategy_result
+
+STRATEGIES = ("task", "data", "combined")
+
+
+def _compute():
+    return speedup_table(STRATEGIES)
+
+
+def test_e2_main_comparison(benchmark, report):
+    table = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    report(render_bars(table, STRATEGIES, "== E2: Task / Task+Data / Task+Data+SWP (speedup vs 1 core) =="))
+
+    geo = {s: geometric_mean([table[a][s] for a in table]) for s in STRATEGIES}
+    # Task parallelism alone is inadequate on 16 cores (paper: 2.27x).
+    assert 1.2 < geo["task"] < 4.0
+    # Coarse-grained data parallelism produces abundant parallelism
+    # (paper: 9.9x overall, 4.36x over the task baseline).
+    assert geo["data"] > 2.0 * geo["task"]
+    assert geo["data"] > 5.0
+    # Software pipelining on top provides a further cumulative gain
+    # (paper: 1.45x mean over data parallelism alone).
+    assert geo["combined"] > 1.2 * geo["data"]
+
+    # Per-application claims from the text:
+    # BitonicSort's fine task granularity yields little, but coarse data
+    # parallelism recovers a large speedup (paper: 8.4x).
+    assert table["BitonicSort"]["task"] < 1.5
+    assert table["BitonicSort"]["data"] > 5.0
+    # Wide, load-balanced split-joins benefit from task parallelism alone.
+    for app in ("Radar", "ChannelVocoder", "FilterBank"):
+        assert table[app]["task"] > 2.0
+    # Stateful computation paralyzes data parallelism for Radar.
+    assert table["Radar"]["data"] < 0.6 * geo["data"]
+    # The biggest combined-over-individual gains are on stateful apps
+    # (paper: 69% for Vocoder).
+    assert table["Vocoder"]["combined"] > 1.5 * table["Vocoder"]["data"]
+
+
+def test_e2_data_parallel_utilizes_stateless_apps(benchmark):
+    """Six fully stateless, non-peeking apps fuse to one filter and fiss
+    16 ways (paper: mean 11.1x for those)."""
+
+    def compute():
+        return [
+            strategy_result(app, "data").speedup
+            for app in ("BitonicSort", "DCT", "DES", "FFT", "Serpent", "TDE")
+        ]
+
+    speedups = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert geometric_mean(speedups) > 8.0

@@ -1,0 +1,26 @@
+"""E4 — Figure `fine-dup`: fine-grained vs coarse-grained data parallelism.
+
+Naively replicating *every* stateless filter across all 16 cores
+overwhelms the communication substrate.  The paper's headline contrast is
+DCT: 14.6x coarse-grained vs 4.0x fine-grained.
+"""
+
+from repro.bench import geometric_mean, render_bars, speedup_table
+
+STRATEGIES = ("fine_grained", "data")
+
+
+def test_e4_fine_grained_duplication(benchmark, report):
+    table = benchmark.pedantic(lambda: speedup_table(STRATEGIES), rounds=1, iterations=1)
+    report(render_bars(table, STRATEGIES, "== E4: fine-grained vs coarse-grained data parallelism =="))
+
+    geo = {s: geometric_mean([table[a][s] for a in table]) for s in STRATEGIES}
+    # Coarsening-then-fissing dominates naive replication overall.
+    assert geo["data"] > 2.0 * geo["fine_grained"]
+    # The paper's DCT contrast: coarse ~14.6x vs fine ~4.0x.
+    assert table["DCT"]["data"] > 10.0
+    assert table["DCT"]["fine_grained"] < 6.0
+    assert table["DCT"]["data"] > 2.5 * table["DCT"]["fine_grained"]
+    # Fine-grained fission can even lose to a single core when the filters
+    # are tiny (BitonicSort, DES).
+    assert table["BitonicSort"]["fine_grained"] < 1.0

@@ -1,0 +1,106 @@
+"""E9 — the program-verification section: deadlock and overflow detection.
+
+The paper derives static checks from the wavefront functions: a feedback
+loop is safe iff ``maxloop(x) = x + λ``; a split-join is safe iff branch
+production rates stay within O(1) of each other.  This benchmark runs the
+verifier over the whole application suite (all safe) and over constructed
+unsafe programs (all detected), and times the analysis.
+"""
+
+from repro.apps import ALL_APPS
+from repro.graph import (
+    ArraySource,
+    CollectSink,
+    Decimator,
+    Duplicator,
+    FeedbackLoop,
+    Identity,
+    Pipeline,
+    joiner_roundrobin,
+    roundrobin,
+)
+from repro.scheduling import verify_program
+
+
+def _safe_apps():
+    return {name: verify_program(builder()).ok for name, builder in ALL_APPS.items()}
+
+
+def test_e9_suite_is_safe(benchmark, report):
+    results = benchmark.pedantic(_safe_apps, rounds=1, iterations=1)
+    bad = [name for name, ok in results.items() if not ok]
+    report(
+        "== E9: static verification over the suite ==\n"
+        + f"{len(results)} applications verified deadlock- and overflow-free"
+        + (f"; FAILURES: {bad}" if bad else "")
+    )
+    assert not bad
+
+
+def _deadlocked_loop():
+    # The loop consumes two items per cycle from the loopback but returns
+    # only one: it starves (paper: maxloop(x) < x + lambda).
+    loop = FeedbackLoop(
+        joiner_roundrobin(1, 2),
+        Identity(),
+        roundrobin(2, 1),
+        Identity(),
+        delay=4,
+    )
+    return Pipeline(ArraySource([1.0]), loop, CollectSink())
+
+
+def _overflowing_loop():
+    # The loop returns two items per cycle but the joiner consumes one.
+    loop = FeedbackLoop(
+        joiner_roundrobin(2, 1),
+        Identity(),
+        roundrobin(1, 2),
+        Identity(),
+        delay=4,
+    )
+    return Pipeline(ArraySource([1.0]), loop, CollectSink())
+
+
+def _zero_delay_loop():
+    loop = FeedbackLoop(
+        joiner_roundrobin(1, 1),
+        Identity(),
+        roundrobin(1, 1),
+        Identity(),
+        delay=0,
+    )
+    return Pipeline(ArraySource([1.0]), loop, CollectSink())
+
+
+def _unbalanced_splitjoin():
+    from repro.graph import SplitJoin, duplicate
+
+    # Duplicate splitter, but one branch produces 2x per input: the joiner
+    # weights cannot balance -> a branch buffer grows without bound.
+    sj = SplitJoin(
+        duplicate(),
+        [Identity(), Duplicator(2)],
+        joiner_roundrobin(1, 1),
+    )
+    return Pipeline(ArraySource([1.0]), sj, CollectSink())
+
+
+def test_e9_detects_unsafe_programs(benchmark, report):
+    cases = {
+        "deadlocked feedback loop": _deadlocked_loop,
+        "overflowing feedback loop": _overflowing_loop,
+        "zero-delay feedback loop": _zero_delay_loop,
+        "unbalanced split-join": _unbalanced_splitjoin,
+    }
+
+    def verify_all():
+        return {name: verify_program(build()) for name, build in cases.items()}
+
+    reports = benchmark.pedantic(verify_all, rounds=1, iterations=1)
+    lines = ["== E9b: constructed unsafe programs =="]
+    for name, rep in reports.items():
+        lines.append(f"{name:28s} detected={not rep.ok}  ({rep.detail[:80]})")
+    report("\n".join(lines))
+    for name, rep in reports.items():
+        assert not rep.ok, f"verifier missed: {name}"

@@ -1,0 +1,12 @@
+"""Benchmark configuration: print experiment tables after each run."""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collects experiment renderings and prints them at session end."""
+    sections = []
+    yield sections.append
+    if sections:
+        print("\n" + "\n\n".join(sections))

@@ -1,0 +1,56 @@
+"""Multicore mapping demo — the evaluation section in miniature.
+
+Maps three representative applications onto the simulated 16-core Raw-like
+machine with every strategy, printing the speedup bars and showing why
+coarse-grained data parallelism plus software pipelining wins.
+
+Run with:  python examples/multicore_mapping.py
+"""
+
+from repro.apps import dct, filterbank, radar
+from repro.estimate import characterize
+from repro.machine import RawMachine
+from repro.mapping import STRATEGIES
+
+APPS = {
+    "DCT": dct.build,            # one dominant stateless filter
+    "FilterBank": filterbank.build,  # wide, balanced, peeking
+    "Radar": radar.build,        # dominated by stateful filters
+}
+
+
+def main() -> None:
+    machine = RawMachine()
+    print(f"target: {machine.n_cores} cores @ {machine.clock_hz/1e6:.0f} MHz "
+          f"({machine.peak_mflops:.0f} MFLOPS peak)\n")
+
+    order = ["task", "fine_grained", "data", "softpipe", "combined", "space"]
+    header = f"{'app':12s}" + "".join(f"{s:>14s}" for s in order)
+    print(header)
+    for name, builder in APPS.items():
+        row = []
+        for strategy in order:
+            result = STRATEGIES[strategy](builder(), machine)
+            row.append(result.speedup)
+        print(f"{name:12s}" + "".join(f"{v:14.2f}" for v in row))
+
+    print("\nwhy: benchmark characteristics")
+    for name, builder in APPS.items():
+        c = characterize(name, builder())
+        print(
+            f"  {name:12s} filters={c.filters:3d} peeking={c.peeking:2d} "
+            f"stateful={c.stateful:2d} stateful-work={c.stateful_work_pct:5.1f}% "
+            f"comp/comm={c.comp_comm_ratio:6.1f}"
+        )
+
+    print(
+        "\nreading the table: DCT needs fission (its one heavy filter bounds\n"
+        "every non-fissing strategy); FilterBank's balanced split-join gives\n"
+        "task parallelism for free but peeking makes fission pay duplication;\n"
+        "Radar's stateful filters defeat data parallelism entirely, so\n"
+        "software pipelining provides the only leverage."
+    )
+
+
+if __name__ == "__main__":
+    main()

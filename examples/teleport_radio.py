@@ -1,0 +1,48 @@
+"""Teleport messaging demo — the paper's frequency-hopping radio.
+
+Runs the full trunked radio (mixer, booster, FFT, hop detection, quality
+control) with teleport messaging, shows the retunes landing at their
+wavefront-exact boundaries, and contrasts with the manual control-loop
+implementation on the simulated parallel machine.
+
+Run with:  python examples/teleport_radio.py
+"""
+
+from repro.apps import freqhop
+from repro.graph.builtins import CollectSink
+from repro.machine import RawMachine
+from repro.mapping.strategies import software_pipeline
+from repro.runtime import Interpreter
+
+
+def main() -> None:
+    # Run the full demo radio with both portals live.
+    app = freqhop.build()
+    sink = next(f for f in app.filters() if isinstance(f, CollectSink))
+    mixer = next(f for f in app.filters() if f.name == "rf2if")
+    booster = next(f for f in app.filters() if f.name == "booster")
+
+    interp = Interpreter(app)
+    interp.run(periods=64)
+    print("== trunked radio, 64 FFT blocks ==")
+    print(f"outputs produced:    {len(sink.collected)}")
+    print(f"frequency hops:      {mixer.hops} (current {mixer.freq} Hz)")
+    print(f"booster switches:    {booster.switches}")
+
+    # The headline comparison: on a parallel machine the manual control
+    # loop serializes the whole radio, teleport messaging does not.
+    machine = RawMachine()
+    teleport = software_pipeline(freqhop.build_teleport(), machine)
+    manual = software_pipeline(freqhop.build_manual(), machine)
+    print("\n== mapped to the 16-core machine (software pipelining) ==")
+    print(f"teleport messaging:  {teleport.speedup:5.2f}x over one core")
+    print(f"manual control loop: {manual.speedup:5.2f}x over one core")
+    print(
+        f"teleport improvement: "
+        f"{100 * (teleport.speedup / manual.speedup - 1):.0f}% "
+        "(the paper reports 49% on a cluster)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — a Python reproduction of the StreamIt language and compiler.
+
+Reproduces "Language and Compiler Design for Streaming Applications"
+(Thies et al., IPDPS 2004) and the StreamIt results the supplied paper text
+reports: linear analysis and optimization of stream programs, information-
+wavefront (`sdep`) scheduling semantics with teleport messaging, and the
+coarse-grained task/data/software-pipeline parallelism study on a simulated
+16-core Raw-like machine.
+
+Quick start::
+
+    from repro.graph import Pipeline, ArraySource, CollectSink
+    from repro.apps.fir import FIRFilter
+    from repro.runtime import Interpreter
+
+    sink = CollectSink()
+    app = Pipeline(ArraySource([1.0, 2.0, 3.0, 4.0]), FIRFilter([0.5, 0.5]), sink)
+    Interpreter(app).run(periods=8)
+    print(sink.collected)
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+
+__all__ = ["errors", "__version__"]

@@ -1,0 +1,101 @@
+"""The benchmark application suite.
+
+Two groups, matching the paper:
+
+* the 12-app **evaluation suite** (Fig. "Benchmark characteristics"):
+  BitonicSort, ChannelVocoder, DCT, DES, FFT, FilterBank, FMRadio,
+  Serpent, TDE, MPEG2Decoder, Vocoder, Radar;
+* the **linear-optimization suite** (title/abstract experiments): FIR,
+  RateConvert, TargetDetect, FMRadio, Radar, FilterBank, Vocoder,
+  Oversampler, DToA;
+* plus FreqHopRadio (teleport messaging) and Beamformer (prior-work
+  comparison).
+
+Each module exposes ``build(...) -> Pipeline`` (a closed stream with its
+own source and sink) and, where practical, a numpy ``reference`` model.
+"""
+
+from typing import Callable, Dict
+
+from repro.apps import (
+    beamformer,
+    bitonic,
+    channelvocoder,
+    dct,
+    des,
+    dtoa,
+    fft,
+    filterbank,
+    fir,
+    fmradio,
+    freqhop,
+    mpeg2,
+    oversampler,
+    radar,
+    rateconvert,
+    serpent,
+    targetdetect,
+    tde,
+    vocoder,
+)
+
+#: The 12 applications of the evaluation suite, in the paper's (stateful-
+#: work ascending) presentation order.
+EVALUATION_SUITE: Dict[str, Callable] = {
+    "BitonicSort": bitonic.build,
+    "ChannelVocoder": channelvocoder.build,
+    "DCT": dct.build,
+    "DES": des.build,
+    "FFT": fft.build,
+    "FilterBank": filterbank.build,
+    "FMRadio": fmradio.build,
+    "Serpent": serpent.build,
+    "TDE": tde.build,
+    "MPEG2Decoder": mpeg2.build,
+    "Vocoder": vocoder.build,
+    "Radar": radar.build,
+}
+
+#: The linear-optimization study's applications.
+LINEAR_SUITE: Dict[str, Callable] = {
+    "FIR": fir.build,
+    "RateConvert": rateconvert.build,
+    "TargetDetect": targetdetect.build,
+    "FMRadio": fmradio.build,
+    "FilterBank": filterbank.build,
+    "Vocoder": vocoder.build,
+    "Oversampler": oversampler.build,
+    "DToA": dtoa.build,
+}
+
+ALL_APPS: Dict[str, Callable] = {
+    **EVALUATION_SUITE,
+    **LINEAR_SUITE,
+    "Beamformer": beamformer.build,
+    "FreqHopRadio": freqhop.build_teleport,
+}
+
+__all__ = [
+    "EVALUATION_SUITE",
+    "LINEAR_SUITE",
+    "ALL_APPS",
+    "beamformer",
+    "bitonic",
+    "channelvocoder",
+    "dct",
+    "des",
+    "dtoa",
+    "fft",
+    "filterbank",
+    "fir",
+    "fmradio",
+    "freqhop",
+    "mpeg2",
+    "oversampler",
+    "radar",
+    "rateconvert",
+    "serpent",
+    "targetdetect",
+    "tde",
+    "vocoder",
+]

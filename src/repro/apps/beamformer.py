@@ -1,0 +1,94 @@
+"""Beamformer — the stateless coarse-grained beamformer used in the
+evaluation's comparison with prior (space-multiplexing) work: twelve
+channels of steering-delay FIRs feed four beam-forming weight filters with
+a magnitude detector per beam.  Unlike Radar, the channel filters here are
+written statelessly (peeking delay lines), so data parallelism applies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.apps.common import FIRFilter, lowpass_taps, signal, source_and_sink
+from repro.apps.radar import BeamWeights, MagnitudeDetector
+from repro.graph.base import Filter
+from repro.graph.composites import Pipeline, SplitJoin
+from repro.graph.splitjoin import duplicate, joiner_roundrobin, roundrobin
+
+N_CHANNELS = 12
+N_BEAMS = 4
+FIR_TAPS = 24
+
+
+class Magnitude(Filter):
+    """|x| — nonlinear, stateless (unlike Radar's averaging detector)."""
+
+    def __init__(self, name=None) -> None:
+        super().__init__(pop=1, push=1, name=name)
+
+    def work(self) -> None:
+        value = self.pop()
+        if value < 0.0:
+            value = -value
+        self.push(value)
+
+
+def _steer_taps(channel: int) -> List[float]:
+    base = lowpass_taps(FIR_TAPS, 0.25)
+    shift = channel % 4
+    return base[shift:] + base[:shift]
+
+
+def build(input_length: int = 240) -> Pipeline:
+    source, sink = source_and_sink(signal(max(input_length, N_CHANNELS)))
+    channels = SplitJoin(
+        roundrobin(*([1] * N_CHANNELS)),
+        [
+            FIRFilter(_steer_taps(c), name=f"steer{c}")
+            for c in range(N_CHANNELS)
+        ],
+        joiner_roundrobin(*([1] * N_CHANNELS)),
+        name="steering",
+    )
+    beams = SplitJoin(
+        duplicate(),
+        [
+            Pipeline(
+                BeamWeights(
+                    [
+                        math.cos(2 * math.pi * b * c / N_CHANNELS) / N_CHANNELS
+                        for c in range(N_CHANNELS)
+                    ],
+                    name=f"beam{b}_weights",
+                ),
+                Magnitude(name=f"beam{b}_mag"),
+                name=f"beam{b}",
+            )
+            for b in range(N_BEAMS)
+        ],
+        joiner_roundrobin(),
+        name="beams",
+    )
+    return Pipeline(source, channels, beams, sink, name="Beamformer")
+
+
+def reference(x: np.ndarray) -> np.ndarray:
+    from repro.apps.common import fir_reference
+
+    x = np.asarray(x, dtype=np.float64)
+    n_frames = len(x) // N_CHANNELS
+    chans = [x[c::N_CHANNELS][:n_frames] for c in range(N_CHANNELS)]
+    filtered = [fir_reference(chans[c], _steer_taps(c)) for c in range(N_CHANNELS)]
+    n = min(len(f) for f in filtered)
+    stacked = np.stack([f[:n] for f in filtered], axis=1)
+    out = []
+    for f in range(n):
+        for b in range(N_BEAMS):
+            w = np.array(
+                [math.cos(2 * math.pi * b * c / N_CHANNELS) / N_CHANNELS for c in range(N_CHANNELS)]
+            )
+            out.append(abs(float(w @ stacked[f])))
+    return np.asarray(out)

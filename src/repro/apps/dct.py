@@ -1,0 +1,72 @@
+"""DCT — a 16x16 IEEE-reference two-dimensional discrete cosine transform.
+
+Blocks of 256 samples (16x16, row-major) flow through: a row DCT (one
+matrix filter applied per 16-sample row), a transpose realized as a
+round-robin split-join of identities, a second row DCT (the columns), and
+an inverse transpose.  The row-DCT filter performs the overwhelming
+majority of the work — the single-bottleneck shape the evaluation
+highlights (coarse data parallelism fisses it; fine-grained fission
+flounders on the synchronization).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.apps.common import MatrixFilter, signal, source_and_sink
+from repro.graph.builtins import Identity
+from repro.graph.composites import Pipeline, SplitJoin
+from repro.graph.splitjoin import joiner_roundrobin, roundrobin
+
+SIZE = 16
+
+
+def dct_matrix(n: int = SIZE) -> np.ndarray:
+    """The orthonormal DCT-II matrix."""
+    m = np.zeros((n, n))
+    for k in range(n):
+        for i in range(n):
+            m[k, i] = math.cos(math.pi * (i + 0.5) * k / n)
+    m[0, :] *= math.sqrt(1.0 / n)
+    m[1:, :] *= math.sqrt(2.0 / n)
+    return m
+
+
+def transpose_splitjoin(n: int, name: str) -> SplitJoin:
+    """Transpose an n x n block: distribute one item per branch round-robin,
+    collect n items per branch — a pure data-reordering split-join."""
+    return SplitJoin(
+        roundrobin(*([1] * n)),
+        [Identity(name=f"{name}_id{i}") for i in range(n)],
+        joiner_roundrobin(*([n] * n)),
+        name=name,
+    )
+
+
+def build(n: int = SIZE, input_length: int = 256) -> Pipeline:
+    source, sink = source_and_sink(signal(max(input_length, n * n)))
+    m = dct_matrix(n)
+    return Pipeline(
+        source,
+        MatrixFilter(m.tolist(), name="row_dct"),
+        transpose_splitjoin(n, "transpose"),
+        MatrixFilter(m.tolist(), name="col_dct"),
+        transpose_splitjoin(n, "untranspose"),
+        sink,
+        name="DCT",
+    )
+
+
+def reference(x: np.ndarray, n: int = SIZE) -> np.ndarray:
+    """2-D DCT per 16x16 block, row-major in, row-major out."""
+    x = np.asarray(x, dtype=np.float64)
+    m = dct_matrix(n)
+    n_blocks = len(x) // (n * n)
+    out = np.empty(n_blocks * n * n)
+    for b in range(n_blocks):
+        block = x[b * n * n : (b + 1) * n * n].reshape(n, n)
+        out[b * n * n : (b + 1) * n * n] = (m @ block @ m.T).reshape(-1)
+    return out

@@ -1,0 +1,79 @@
+"""DToA — a one-bit digital-to-analog front end: a 1-level oversampler
+followed by a first-order noise shaper built as a FeedbackLoop (the error
+between the quantized output and the input is fed back), then an analog
+smoothing FIR.  Exercises the FeedbackLoop construct inside a real app."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.common import FIRFilter, Scale, lowpass_taps, signal, source_and_sink
+from repro.graph.base import Filter
+from repro.graph.builtins import Expander
+from repro.graph.composites import FeedbackLoop, Pipeline
+from repro.graph.splitjoin import joiner_roundrobin, roundrobin
+
+DEFAULT_TAPS = 64
+
+
+class ErrorShaper(Filter):
+    """Subtracts the fed-back error estimate from the incoming sample.
+
+    pop 2 (one signal item joined round-robin with one feedback item),
+    push 2 (the shaped output and the new feedback value) — a linear body,
+    so the loop's *body* is analyzable even though the loop is not
+    collapsed.
+    """
+
+    def __init__(self, leak: float = 0.5, name: Optional[str] = None) -> None:
+        super().__init__(pop=2, push=2, name=name)
+        self.leak = float(leak)
+
+    def work(self) -> None:
+        sample = self.pop()
+        fed_back = self.pop()
+        shaped = sample - self.leak * fed_back
+        self.push(shaped)        # to the output path
+        self.push(shaped * 0.5)  # error estimate back around the loop
+
+
+def build(n_taps: int = DEFAULT_TAPS, input_length: int = 128) -> Pipeline:
+    source, sink = source_and_sink(signal(input_length))
+    shaper = FeedbackLoop(
+        joiner_roundrobin(1, 1),
+        ErrorShaper(name="shape"),
+        roundrobin(1, 1),
+        Scale(1.0, name="loopgain"),
+        delay=1,
+        init_path=lambda i: 0.0,
+        name="noise_shaper",
+    )
+    return Pipeline(
+        source,
+        Expander(2, name="up"),
+        FIRFilter(lowpass_taps(n_taps, 0.25), name="interp"),
+        shaper,
+        FIRFilter(lowpass_taps(16, 0.4), name="smooth"),
+        sink,
+        name="DToA",
+    )
+
+
+def reference(x: np.ndarray, n_taps: int = DEFAULT_TAPS) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    up = np.zeros(len(x) * 2)
+    up[::2] = x
+    taps = np.asarray(lowpass_taps(n_taps, 0.25))
+    n = len(up) - (len(taps) - 1)
+    interp = np.array([up[j : j + len(taps)] @ taps for j in range(max(n, 0))])
+    # First-order noise shaper with unit-delay feedback (leak 0.5, gain 0.5).
+    shaped = np.empty_like(interp)
+    fb = 0.0
+    for i, sample in enumerate(interp):
+        shaped[i] = sample - 0.5 * fb
+        fb = shaped[i] * 0.5
+    smooth = np.asarray(lowpass_taps(16, 0.4))
+    n2 = len(shaped) - (len(smooth) - 1)
+    return np.array([shaped[j : j + len(smooth)] @ smooth for j in range(max(n2, 0))])

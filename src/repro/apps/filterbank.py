@@ -1,0 +1,59 @@
+"""FilterBank — a multirate analysis/synthesis filter bank.
+
+Eight branches, each band-pass filtering, decimating by the branch count,
+re-expanding, and synthesis filtering; branch outputs are summed.  Wide,
+load-balanced, fully linear split-join — the shape that rewards both task
+and data parallelism in the evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.apps.common import Adder, FIRFilter, bandpass_taps, signal, source_and_sink
+from repro.graph.builtins import Expander
+from repro.graph.composites import Pipeline, SplitJoin
+from repro.graph.splitjoin import duplicate, joiner_roundrobin
+
+N_BRANCHES = 8
+DEFAULT_TAPS = 32
+
+
+def _bands(n_taps: int) -> List[List[float]]:
+    edges = np.linspace(0.01, 0.49, N_BRANCHES + 1)
+    return [
+        bandpass_taps(n_taps, float(edges[i]), float(edges[i + 1]))
+        for i in range(N_BRANCHES)
+    ]
+
+
+def build(n_taps: int = DEFAULT_TAPS, input_length: int = 256) -> Pipeline:
+    source, sink = source_and_sink(signal(input_length))
+    branches = []
+    for i, taps in enumerate(_bands(n_taps)):
+        branches.append(
+            Pipeline(
+                FIRFilter(taps, decimation=N_BRANCHES, name=f"analyze{i}"),
+                Expander(N_BRANCHES, name=f"expand{i}"),
+                FIRFilter(taps, name=f"synth{i}"),
+                name=f"branch{i}",
+            )
+        )
+    bank = SplitJoin(duplicate(), branches, joiner_roundrobin(), name="bank")
+    return Pipeline(source, bank, Adder(N_BRANCHES, name="combine"), sink, name="FilterBank")
+
+
+def reference(x: np.ndarray, n_taps: int = DEFAULT_TAPS) -> np.ndarray:
+    from repro.apps.common import fir_reference
+
+    x = np.asarray(x, dtype=np.float64)
+    outs = []
+    for taps in _bands(n_taps):
+        analyzed = fir_reference(x, taps, decimation=N_BRANCHES)
+        up = np.zeros(len(analyzed) * N_BRANCHES)
+        up[::N_BRANCHES] = analyzed
+        outs.append(fir_reference(up, taps))
+    n = min(len(o) for o in outs)
+    return np.sum([o[:n] for o in outs], axis=0)

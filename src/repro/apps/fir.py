@@ -1,0 +1,30 @@
+"""FIR — the canonical linear benchmark: one long finite-impulse-response
+filter over a synthetic signal (the paper's five-tap FIR block diagram,
+scaled up to a realistic tap count)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.apps.common import FIRFilter, fir_reference, lowpass_taps, signal, source_and_sink
+from repro.graph.composites import Pipeline
+
+DEFAULT_TAPS = 128
+
+
+def build(n_taps: int = DEFAULT_TAPS, input_length: int = 256) -> Pipeline:
+    """Source -> FIR(n_taps) -> sink."""
+    source, sink = source_and_sink(signal(input_length))
+    return Pipeline(
+        source,
+        FIRFilter(lowpass_taps(n_taps, 0.2), name="fir"),
+        sink,
+        name="FIR",
+    )
+
+
+def reference(x: np.ndarray, n_taps: int = DEFAULT_TAPS) -> np.ndarray:
+    """Numpy model of the app's filter chain."""
+    return fir_reference(np.asarray(x), lowpass_taps(n_taps, 0.2))

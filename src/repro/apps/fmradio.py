@@ -1,0 +1,84 @@
+"""FMRadio — the paper's running example: a software FM receiver.
+
+Pipeline: antenna source -> low-pass front end -> FM demodulator -> a
+multi-band equalizer (duplicate split-join of band-pass filters whose
+outputs are summed) -> speaker sink.  The demodulator is nonlinear (a
+product of adjacent samples), the equalizer is a large linear region.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.apps.common import Adder, FIRFilter, bandpass_taps, lowpass_taps, signal, source_and_sink
+from repro.graph.base import Filter
+from repro.graph.composites import Pipeline, SplitJoin
+from repro.graph.splitjoin import duplicate, joiner_roundrobin
+
+N_BANDS = 6
+DEFAULT_TAPS = 64
+
+
+class FMDemodulator(Filter):
+    """Nonlinear FM discriminator: ``y = gain · x[t] · x[t+1]``.
+
+    (The classic StreamIt FMRadio uses this adjacent-product demodulator;
+    it peeks one sample ahead and is stateless.)
+    """
+
+    def __init__(self, gain: float = 2.0, name: Optional[str] = None) -> None:
+        super().__init__(peek=2, pop=1, push=1, name=name)
+        self.gain = float(gain)
+
+    def work(self) -> None:
+        current = self.peek(0)
+        ahead = self.peek(1)
+        self.pop()
+        self.push(self.gain * current * ahead)
+
+
+def _equalizer_bands(n_taps: int) -> List[List[float]]:
+    edges = np.linspace(0.02, 0.48, N_BANDS + 1)
+    return [bandpass_taps(n_taps, float(edges[i]), float(edges[i + 1])) for i in range(N_BANDS)]
+
+
+def equalizer(n_taps: int = DEFAULT_TAPS) -> Pipeline:
+    """The linear equalizer: duplicate -> band gains -> sum."""
+    gains = [1.0 + 0.2 * i for i in range(N_BANDS)]
+    branches: List[Filter] = []
+    for i, taps in enumerate(_equalizer_bands(n_taps)):
+        branches.append(
+            FIRFilter([g * gains[i] for g in taps], name=f"band{i}")
+        )
+    bank = SplitJoin(duplicate(), branches, joiner_roundrobin(), name="eq_bank")
+    return Pipeline(bank, Adder(N_BANDS, name="eq_sum"), name="equalizer")
+
+
+def build(n_taps: int = DEFAULT_TAPS, input_length: int = 256) -> Pipeline:
+    source, sink = source_and_sink(signal(input_length))
+    return Pipeline(
+        source,
+        FIRFilter(lowpass_taps(n_taps, 0.3), name="front_lp"),
+        FMDemodulator(name="demod"),
+        equalizer(n_taps),
+        sink,
+        name="FMRadio",
+    )
+
+
+def reference(x: np.ndarray, n_taps: int = DEFAULT_TAPS) -> np.ndarray:
+    from repro.apps.common import fir_reference
+
+    x = np.asarray(x, dtype=np.float64)
+    front = fir_reference(x, lowpass_taps(n_taps, 0.3))
+    demod = 2.0 * front[:-1] * front[1:]
+    gains = [1.0 + 0.2 * i for i in range(N_BANDS)]
+    bands = [
+        fir_reference(demod, [g * gains[i] for g in taps])
+        for i, taps in enumerate(_equalizer_bands(n_taps))
+    ]
+    n = min(len(b) for b in bands)
+    return np.sum([b[:n] for b in bands], axis=0)

@@ -1,0 +1,158 @@
+"""MPEG2Decoder — the block-decoding and motion-vector-decoding third of an
+MPEG-2 decoder.  A round-robin split separates each macroblock record (64
+DCT coefficients + 8 motion-vector deltas); the block path runs zig-zag
+reordering (linear permutation), an *adaptively scaled* inverse quantizer
+(the decoder's tiny stateful component), and an 8x8 IEEE inverse DCT
+(rows, transpose, columns — the heavy linear work); the motion path runs a
+stateful delta-decoding predictor.  Saturation clamps the joined output.
+The stateful work is insignificant next to the IDCT, matching the paper's
+characterization.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.apps.common import MatrixFilter, signal, source_and_sink
+from repro.apps.dct import transpose_splitjoin
+from repro.apps.des import PermuteBits
+from repro.graph.base import Filter
+from repro.graph.composites import Pipeline, SplitJoin
+from repro.graph.splitjoin import joiner_roundrobin, roundrobin
+
+BLOCK = 64
+MV = 8
+SIZE = 8
+
+
+def zigzag_order() -> List[int]:
+    """The standard 8x8 zig-zag scan order."""
+    order = sorted(
+        ((r, c) for r in range(SIZE) for c in range(SIZE)),
+        key=lambda rc: (rc[0] + rc[1], rc[1] if (rc[0] + rc[1]) % 2 else rc[0]),
+    )
+    positions = [r * SIZE + c for r, c in order]
+    inverse = [0] * BLOCK
+    for scan_index, pos in enumerate(positions):
+        inverse[pos] = scan_index
+    return inverse
+
+
+def idct_matrix() -> np.ndarray:
+    m = np.zeros((SIZE, SIZE))
+    for k in range(SIZE):
+        for i in range(SIZE):
+            m[k, i] = math.cos(math.pi * (i + 0.5) * k / SIZE)
+    m[0, :] *= math.sqrt(1.0 / SIZE)
+    m[1:, :] *= math.sqrt(2.0 / SIZE)
+    return m.T  # inverse of the orthonormal DCT is its transpose
+
+
+class InverseQuantizer(Filter):
+    """Dequantizes a block, adapting its scale from the DC coefficient.
+
+    The scale update across blocks is the decoder's (insignificant)
+    stateful computation.
+    """
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(pop=BLOCK, push=BLOCK, name=name)
+        self.scale = 1.0
+
+    def init(self) -> None:
+        self.scale = 1.0
+
+    def work(self) -> None:
+        dc = self.peek(0)
+        for i in range(BLOCK):
+            self.push(self.peek(i) * self.scale)
+        for _ in range(BLOCK):
+            self.pop()
+        # Adapt the quantizer scale for the next block (bounded).
+        self.scale = 0.95 * self.scale + 0.05 * (1.0 + 0.1 * (dc if dc < 4.0 else 4.0))
+
+
+class MotionVectorDecode(Filter):
+    """Stateful delta decoder: motion vectors are coded as differences."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(pop=MV, push=MV, name=name)
+        self.predictors = [0.0] * MV
+
+    def init(self) -> None:
+        self.predictors = [0.0] * MV
+
+    def work(self) -> None:
+        for i in range(MV):
+            delta = self.pop()
+            self.predictors[i] = self.predictors[i] * 0.5 + delta
+            self.push(self.predictors[i])
+
+
+class Saturate(Filter):
+    """Clamps samples into the displayable range (nonlinear)."""
+
+    def __init__(self, lo: float = -4.0, hi: float = 4.0, name: Optional[str] = None) -> None:
+        super().__init__(pop=1, push=1, name=name)
+        self.lo = lo
+        self.hi = hi
+
+    def work(self) -> None:
+        value = self.pop()
+        if value < self.lo:
+            value = self.lo
+        if value > self.hi:
+            value = self.hi
+        self.push(value)
+
+
+def block_decode() -> Pipeline:
+    m = idct_matrix()
+    return Pipeline(
+        PermuteBits(zigzag_order(), name="zigzag"),
+        InverseQuantizer(name="iquant"),
+        MatrixFilter(m.tolist(), name="idct_rows"),
+        transpose_splitjoin(SIZE, "idct_t1"),
+        MatrixFilter(m.tolist(), name="idct_cols"),
+        transpose_splitjoin(SIZE, "idct_t2"),
+        name="block_decode",
+    )
+
+
+def build(input_length: int = 288) -> Pipeline:
+    source, sink = source_and_sink(signal(max(input_length, BLOCK + MV)))
+    decode = SplitJoin(
+        roundrobin(BLOCK, MV),
+        [block_decode(), MotionVectorDecode(name="mv_decode")],
+        joiner_roundrobin(BLOCK, MV),
+        name="decode_paths",
+    )
+    return Pipeline(source, decode, Saturate(name="saturate"), sink, name="MPEG2Decoder")
+
+
+def reference(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    record = BLOCK + MV
+    n_records = len(x) // record
+    zz = np.asarray(zigzag_order())
+    m = idct_matrix()
+    out = np.empty(n_records * record)
+    scale = 1.0
+    predictors = np.zeros(MV)
+    for r in range(n_records):
+        rec = x[r * record : (r + 1) * record]
+        block = rec[:BLOCK][zz]
+        dc = block[0]
+        deq = block * scale
+        scale = 0.95 * scale + 0.05 * (1.0 + 0.1 * min(dc, 4.0))
+        pixels = (m @ deq.reshape(SIZE, SIZE) @ m.T).reshape(-1)
+        mv = np.empty(MV)
+        for i in range(MV):
+            predictors[i] = predictors[i] * 0.5 + rec[BLOCK + i]
+            mv[i] = predictors[i]
+        joined = np.concatenate([pixels, mv])
+        out[r * record : (r + 1) * record] = np.clip(joined, -4.0, 4.0)
+    return out

@@ -1,0 +1,34 @@
+"""Oversampler — a 16x audio oversampler: four cascaded stages, each
+up-sampling by two and interpolating with a half-band FIR.  Entirely linear;
+frequency translation wins big here because every stage is convolutional."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.common import FIRFilter, lowpass_taps, signal, source_and_sink
+from repro.graph.builtins import Expander
+from repro.graph.composites import Pipeline
+
+N_STAGES = 4
+DEFAULT_TAPS = 64
+
+
+def build(n_taps: int = DEFAULT_TAPS, input_length: int = 128) -> Pipeline:
+    source, sink = source_and_sink(signal(input_length))
+    stages = []
+    for s in range(N_STAGES):
+        stages.append(Expander(2, name=f"up{s}"))
+        stages.append(FIRFilter(lowpass_taps(n_taps, 0.25), name=f"halfband{s}"))
+    return Pipeline(source, *stages, sink, name="Oversampler")
+
+
+def reference(x: np.ndarray, n_taps: int = DEFAULT_TAPS) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    taps = np.asarray(lowpass_taps(n_taps, 0.25))
+    for _ in range(N_STAGES):
+        up = np.zeros(len(x) * 2)
+        up[::2] = x
+        n = len(up) - (len(taps) - 1)
+        x = np.array([up[j : j + len(taps)] @ taps for j in range(max(n, 0))])
+    return x

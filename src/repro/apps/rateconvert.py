@@ -1,0 +1,41 @@
+"""RateConvert — audio sample-rate conversion (the paper's expander /
+compressor example): up-sample by 2, low-pass interpolate, down-sample by 3.
+The whole signal path is linear, so the optimizer collapses it to a single
+multi-rate node."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.common import FIRFilter, lowpass_taps, signal, source_and_sink
+from repro.graph.builtins import Decimator, Expander
+from repro.graph.composites import Pipeline
+
+DEFAULT_TAPS = 96
+UP = 2
+DOWN = 3
+
+
+def build(n_taps: int = DEFAULT_TAPS, input_length: int = 300) -> Pipeline:
+    """Source -> up(2) -> FIR -> down(3) -> sink."""
+    source, sink = source_and_sink(signal(input_length))
+    return Pipeline(
+        source,
+        Expander(UP, name="expand"),
+        FIRFilter(lowpass_taps(n_taps, 1.0 / (2 * max(UP, DOWN))), name="interp"),
+        Decimator(DOWN, name="compress"),
+        sink,
+        name="RateConvert",
+    )
+
+
+def reference(x: np.ndarray, n_taps: int = DEFAULT_TAPS) -> np.ndarray:
+    """Numpy model: zero-stuff, convolve, decimate."""
+    x = np.asarray(x, dtype=np.float64)
+    up = np.zeros(len(x) * UP)
+    up[::UP] = x
+    taps = np.asarray(lowpass_taps(n_taps, 1.0 / (2 * max(UP, DOWN))))
+    n_fir = len(up) - (len(taps) - 1)
+    fir_out = np.array([up[j : j + len(taps)] @ taps for j in range(max(n_fir, 0))])
+    n_dec = len(fir_out) // DOWN
+    return fir_out[: n_dec * DOWN : DOWN]

@@ -1,0 +1,109 @@
+"""Serpent — the Serpent block cipher's stream structure: a long pipeline
+of identical rounds over 128-bit blocks, each round a key XOR (affine), a
+layer of 32 parallel 4-bit S-boxes (nonlinear, a wide but cheap split-join)
+and a fixed linear bit permutation.  Load-balanced pipeline with narrow
+communication — fused down to a pipeline it pipeline-parallelizes well, the
+behaviour the evaluation's comparison section discusses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.apps.common import signal, source_and_sink
+from repro.apps.des import Binarize, KeyXor, PermuteBits
+from repro.graph.base import Filter
+from repro.graph.composites import Pipeline, SplitJoin
+from repro.graph.splitjoin import joiner_roundrobin, roundrobin
+
+N_ROUNDS = 8  # reduced from 32 to keep simulated steady states tractable
+BLOCK = 128
+
+
+def _round_key(round_index: int) -> List[int]:
+    rng = np.random.default_rng(3000 + round_index)
+    return [int(v) for v in rng.integers(0, 2, size=BLOCK)]
+
+
+def _sbox_table(round_index: int) -> List[int]:
+    rng = np.random.default_rng(4000 + (round_index % 8))
+    return [int(v) for v in rng.permutation(16)]
+
+
+def _linear_perm(round_index: int) -> List[int]:
+    rng = np.random.default_rng(5000 + round_index)
+    return [int(v) for v in rng.permutation(BLOCK)]
+
+
+class SerpentSBox(Filter):
+    """A 4-bit-wide S-box substitution (nonlinear table lookup)."""
+
+    def __init__(self, table: List[int], name: Optional[str] = None) -> None:
+        super().__init__(pop=4, push=4, name=name)
+        self.table = tuple(int(t) for t in table)
+
+    def work(self) -> None:
+        index = 0
+        for _ in range(4):
+            index = index * 2 + int(self.pop())
+        value = self.table[index]
+        for shift in (8, 4, 2, 1):
+            if value >= shift:
+                self.push(1.0)
+                value -= shift
+            else:
+                self.push(0.0)
+
+
+def serpent_round(round_index: int) -> Pipeline:
+    table = _sbox_table(round_index)
+    sbox_layer = SplitJoin(
+        roundrobin(*([4] * (BLOCK // 4))),
+        [
+            SerpentSBox(table, name=f"r{round_index}_sbox{i}")
+            for i in range(BLOCK // 4)
+        ],
+        joiner_roundrobin(*([4] * (BLOCK // 4))),
+        name=f"r{round_index}_sboxes",
+    )
+    return Pipeline(
+        KeyXor(_round_key(round_index), name=f"r{round_index}_keyxor"),
+        sbox_layer,
+        PermuteBits(_linear_perm(round_index), name=f"r{round_index}_linear"),
+        name=f"serpent_round{round_index}",
+    )
+
+
+def build(n_rounds: int = N_ROUNDS, input_length: int = 256) -> Pipeline:
+    source, sink = source_and_sink(signal(max(input_length, BLOCK)))
+    rounds = [serpent_round(r) for r in range(n_rounds)]
+    return Pipeline(
+        source,
+        Binarize(name="binarize"),
+        *rounds,
+        KeyXor(_round_key(99), name="final_keyxor"),
+        sink,
+        name="Serpent",
+    )
+
+
+def reference(x: np.ndarray, n_rounds: int = N_ROUNDS) -> np.ndarray:
+    bits = (np.asarray(x) > 0).astype(np.float64)
+    n_blocks = len(bits) // BLOCK
+    out = np.empty(n_blocks * BLOCK)
+    for blk in range(n_blocks):
+        block = bits[blk * BLOCK : (blk + 1) * BLOCK].copy()
+        for r in range(n_rounds):
+            block = np.abs(block - np.asarray(_round_key(r)))
+            table = _sbox_table(r)
+            for i in range(BLOCK // 4):
+                nibble = block[i * 4 : (i + 1) * 4]
+                index = int(nibble @ np.array([8, 4, 2, 1]))
+                val = table[index]
+                block[i * 4 : (i + 1) * 4] = [(val >> s) & 1 for s in (3, 2, 1, 0)]
+            block = block[np.asarray(_linear_perm(r))]
+        block = np.abs(block - np.asarray(_round_key(99)))
+        out[blk * BLOCK : (blk + 1) * BLOCK] = block
+    return out

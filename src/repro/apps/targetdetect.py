@@ -1,0 +1,68 @@
+"""TargetDetect — matched-filter target detection.
+
+The input is broadcast (duplicate splitter) to four matched FIR filters
+tuned to different target signatures; a round-robin join interleaves the
+correlator outputs and a threshold detector marks hits.  The split-join of
+FIRs is linear and collapses to one 4-output node."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.apps.common import FIRFilter, bandpass_taps, signal, source_and_sink
+from repro.graph.base import Filter
+from repro.graph.composites import Pipeline, SplitJoin
+from repro.graph.splitjoin import duplicate, joiner_roundrobin
+
+N_TARGETS = 4
+DEFAULT_TAPS = 64
+
+
+class ThresholdDetect(Filter):
+    """Nonlinear detector: passes the correlation if above threshold."""
+
+    def __init__(self, threshold: float, name: Optional[str] = None) -> None:
+        super().__init__(pop=1, push=1, name=name)
+        self.threshold = float(threshold)
+
+    def work(self) -> None:
+        value = self.pop()
+        if value > self.threshold:
+            self.push(value)
+        else:
+            self.push(0.0)
+
+
+def _target_bands(n_taps: int) -> List[List[float]]:
+    bands = [(0.02, 0.10), (0.10, 0.20), (0.20, 0.32), (0.32, 0.45)]
+    return [bandpass_taps(n_taps, lo, hi) for lo, hi in bands]
+
+
+def build(n_taps: int = DEFAULT_TAPS, input_length: int = 256, threshold: float = 0.4) -> Pipeline:
+    source, sink = source_and_sink(signal(input_length))
+    matched = SplitJoin(
+        duplicate(),
+        [FIRFilter(taps, name=f"match{i}") for i, taps in enumerate(_target_bands(n_taps))],
+        joiner_roundrobin(),
+        name="matchbank",
+    )
+    return Pipeline(
+        source,
+        matched,
+        ThresholdDetect(threshold, name="detect"),
+        sink,
+        name="TargetDetect",
+    )
+
+
+def reference(x: np.ndarray, n_taps: int = DEFAULT_TAPS, threshold: float = 0.4) -> np.ndarray:
+    from repro.apps.common import fir_reference
+
+    outs = [fir_reference(np.asarray(x), taps) for taps in _target_bands(n_taps)]
+    n = min(len(o) for o in outs)
+    interleaved = np.empty(n * N_TARGETS)
+    for i, o in enumerate(outs):
+        interleaved[i::N_TARGETS] = o[:n]
+    return np.where(interleaved > threshold, interleaved, 0.0)

@@ -1,0 +1,89 @@
+"""TDE — time-delay equalization: convolve each block with a fixed channel
+equalizer in the frequency domain: FFT, per-bin complex multiply by the
+equalizer response, inverse FFT with 1/N scaling.  A long pipeline of
+linear block filters with essentially no splitting — the shape on which
+software pipelining shines in the evaluation."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.common import signal, source_and_sink
+from repro.apps.fft import ComplexScale, RealToComplex, fft_kernel
+from repro.graph.base import Filter
+from repro.graph.composites import Pipeline
+
+DEFAULT_N = 32
+
+
+def equalizer_response(n: int) -> np.ndarray:
+    """A fixed, deterministic frequency response (unit-magnitude phase ramp
+    with mild magnitude ripple)."""
+    k = np.arange(n)
+    mag = 1.0 + 0.25 * np.cos(2 * np.pi * k / n)
+    phase = -2.0 * np.pi * k * 3 / n
+    return mag * np.exp(1j * phase)
+
+
+class BinMultiply(Filter):
+    """Multiplies each complex bin by the equalizer coefficient (linear).
+
+    One firing processes a whole n-bin block so each bin sees its own
+    constant coefficient without cross-firing state.
+    """
+
+    def __init__(self, n: int, name: Optional[str] = None) -> None:
+        super().__init__(pop=2 * n, push=2 * n, name=name)
+        h = equalizer_response(n)
+        self.hr = tuple(float(v) for v in h.real)
+        self.hi = tuple(float(v) for v in h.imag)
+        self.n = n
+
+    def work(self) -> None:
+        for k in range(self.n):
+            re = self.peek(2 * k)
+            im = self.peek(2 * k + 1)
+            self.push(re * self.hr[k] - im * self.hi[k])
+            self.push(re * self.hi[k] + im * self.hr[k])
+        for _ in range(2 * self.n):
+            self.pop()
+
+
+class ComplexToReal(Filter):
+    """Drops imaginary parts (the equalized signal is real up to rounding)."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(pop=2, push=1, name=name)
+
+    def work(self) -> None:
+        self.push(self.pop())
+        self.pop()
+
+
+def build(n: int = DEFAULT_N, input_length: int = 256) -> Pipeline:
+    source, sink = source_and_sink(signal(max(input_length, n)))
+    return Pipeline(
+        source,
+        RealToComplex(name="re2c"),
+        fft_kernel(n, prefix="fwd"),
+        BinMultiply(n, name="equalize"),
+        fft_kernel(n, inverse=True, prefix="inv"),
+        ComplexScale(1.0 / n, name="scale"),
+        ComplexToReal(name="c2re"),
+        sink,
+        name="TDE",
+    )
+
+
+def reference(x: np.ndarray, n: int = DEFAULT_N) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    h = equalizer_response(n)
+    n_blocks = len(x) // n
+    out = np.empty(n_blocks * n)
+    for b in range(n_blocks):
+        spec = np.fft.fft(x[b * n : (b + 1) * n]) * h
+        out[b * n : (b + 1) * n] = np.fft.ifft(spec).real
+    return out

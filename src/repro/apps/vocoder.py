@@ -1,0 +1,170 @@
+"""Vocoder — a phase vocoder: analysis DFT bank, rectangular-to-polar
+conversion, per-bin phase unwrapping (the *stateful* step: each unwrapper
+remembers the previous phase), spectral modification, polar-to-rectangular
+and synthesis.  A mostly-stateless graph with a thin stateful band —
+data parallelism helps everywhere except the unwrappers, and adding
+software pipelining on top gives the large combined win the evaluation
+reports for this benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.apps.common import signal, source_and_sink
+from repro.graph.base import Filter
+from repro.graph.builtins import Identity
+from repro.graph.composites import Pipeline, SplitJoin
+from repro.graph.splitjoin import duplicate, joiner_roundrobin, roundrobin
+
+N_BINS = 8
+WINDOW = 32
+SPEED = 1.2
+
+
+class DFTBin(Filter):
+    """Sliding-window DFT for one bin: linear, heavily peeking."""
+
+    def __init__(self, k: int, window: int, name: Optional[str] = None) -> None:
+        super().__init__(peek=window, pop=1, push=2, name=name)
+        self.cos_t = tuple(math.cos(2 * math.pi * k * i / window) for i in range(window))
+        self.sin_t = tuple(-math.sin(2 * math.pi * k * i / window) for i in range(window))
+        self.window = window
+
+    def work(self) -> None:
+        re = 0.0
+        im = 0.0
+        for i in range(self.window):
+            sample = self.peek(i)
+            re += sample * self.cos_t[i]
+            im += sample * self.sin_t[i]
+        self.pop()
+        self.push(re)
+        self.push(im)
+
+
+class RectToPolar(Filter):
+    """(re, im) -> (magnitude, phase): nonlinear, stateless."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(pop=2, push=2, name=name)
+
+    def work(self) -> None:
+        re = self.pop()
+        im = self.pop()
+        self.push(math.sqrt(re * re + im * im))
+        self.push(math.atan2(im, re))
+
+
+class PhaseUnwrap(Filter):
+    """Stateful: unwraps and rescales the phase increment per bin."""
+
+    def __init__(self, speed: float, name: Optional[str] = None) -> None:
+        super().__init__(pop=1, push=1, name=name)
+        self.speed = float(speed)
+        self.previous = 0.0
+        self.accumulated = 0.0
+
+    def init(self) -> None:
+        self.previous = 0.0
+        self.accumulated = 0.0
+
+    def work(self) -> None:
+        phase = self.pop()
+        delta = phase - self.previous
+        while delta > math.pi:
+            delta -= 2 * math.pi
+        while delta < -math.pi:
+            delta += 2 * math.pi
+        self.previous = phase
+        self.accumulated += delta * self.speed
+        self.push(self.accumulated)
+
+
+class PolarToRect(Filter):
+    """(magnitude, phase) -> (re, im): nonlinear, stateless."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(pop=2, push=2, name=name)
+
+    def work(self) -> None:
+        mag = self.pop()
+        phase = self.pop()
+        self.push(mag * math.cos(phase))
+        self.push(mag * math.sin(phase))
+
+
+class SumReals(Filter):
+    """Synthesis: sums the real parts of all bins (linear)."""
+
+    def __init__(self, n_bins: int, name: Optional[str] = None) -> None:
+        super().__init__(pop=2 * n_bins, push=1, name=name)
+        self.n_bins = n_bins
+
+    def work(self) -> None:
+        total = 0.0
+        for k in range(self.n_bins):
+            total += self.peek(2 * k)
+        for _ in range(2 * self.n_bins):
+            self.pop()
+        self.push(total / self.n_bins)
+
+
+def _bin_pipeline(k: int) -> Pipeline:
+    # Per-bin: DFT -> polar -> (magnitude passthrough | phase unwrap) -> rect
+    mag_phase = SplitJoin(
+        roundrobin(1, 1),
+        [Identity(name=f"bin{k}_mag"), PhaseUnwrap(SPEED, name=f"bin{k}_unwrap")],
+        joiner_roundrobin(1, 1),
+        name=f"bin{k}_magphase",
+    )
+    return Pipeline(
+        DFTBin(k, WINDOW, name=f"bin{k}_dft"),
+        RectToPolar(name=f"bin{k}_r2p"),
+        mag_phase,
+        PolarToRect(name=f"bin{k}_p2r"),
+        name=f"bin{k}",
+    )
+
+
+def build(input_length: int = 256) -> Pipeline:
+    source, sink = source_and_sink(signal(max(input_length, WINDOW)))
+    analysis = SplitJoin(
+        duplicate(),
+        [_bin_pipeline(k) for k in range(N_BINS)],
+        joiner_roundrobin(*([2] * N_BINS)),
+        name="bins",
+    )
+    return Pipeline(source, analysis, SumReals(N_BINS, name="synthesis"), sink, name="Vocoder")
+
+
+def reference(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    n_firings = len(x) - (WINDOW - 1)
+    if n_firings <= 0:
+        return np.zeros(0)
+    out = np.zeros(n_firings)
+    idx = np.arange(WINDOW)
+    for k in range(N_BINS):
+        cos_t = np.cos(2 * np.pi * k * idx / WINDOW)
+        sin_t = -np.sin(2 * np.pi * k * idx / WINDOW)
+        prev = 0.0
+        acc = 0.0
+        for f in range(n_firings):
+            window = x[f : f + WINDOW]
+            re = float(window @ cos_t)
+            im = float(window @ sin_t)
+            mag = math.hypot(re, im)
+            phase = math.atan2(im, re)
+            delta = phase - prev
+            while delta > math.pi:
+                delta -= 2 * math.pi
+            while delta < -math.pi:
+                delta += 2 * math.pi
+            prev = phase
+            acc += delta * SPEED
+            out[f] += mag * math.cos(acc)
+    return out / N_BINS

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro StreamIt implementation.
+
+Every error raised by the library derives from :class:`StreamItError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class StreamItError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ValidationError(StreamItError):
+    """A stream graph violates one of the StreamIt semantic restrictions.
+
+    These correspond to the "StreaMIT restrictions" appendix of the paper:
+    type mismatches, reused stream instances, malformed split/join weights,
+    and so on.
+    """
+
+
+class RateError(ValidationError):
+    """A filter or split/join declares inconsistent or illegal I/O rates."""
+
+
+class SchedulingError(StreamItError):
+    """No valid steady-state or initialization schedule exists."""
+
+
+class DeadlockError(SchedulingError):
+    """The program will deadlock (e.g. a starved feedback loop)."""
+
+
+class BufferOverflowError(SchedulingError):
+    """A channel's buffer grows without bound in the steady state."""
+
+
+class ExtractionError(StreamItError):
+    """Linear extraction failed in a way that indicates a malformed filter.
+
+    Note that a filter simply *not being linear* is not an error; extraction
+    reports that via a ``None`` result.  ``ExtractionError`` is reserved for
+    work functions that violate the static-rate contract (e.g. popping a
+    data-dependent number of items).
+    """
+
+
+class MessagingError(StreamItError):
+    """Illegal use of portals/teleport messaging (e.g. unsatisfiable latency)."""
+
+
+class MachineError(StreamItError):
+    """The machine simulator was given an inconsistent mapping or schedule."""

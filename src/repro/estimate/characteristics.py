@@ -1,0 +1,121 @@
+"""Benchmark characteristics — the data behind the paper's `benchchar` table.
+
+For each application we compute the columns the figure reports: filter
+counts (total / peeking / stateful), shortest and longest source-to-sink
+path through the stream graph, the static computation-to-communication
+ratio for one steady state, and the percentage of steady-state work
+performed by stateful filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.estimate.work import node_work
+from repro.graph.base import Stream
+from repro.graph.flatgraph import FILTER, FlatGraph, FlatNode, flatten
+from repro.linear.extraction import is_stateful
+from repro.scheduling.rates import repetitions
+
+
+@dataclass(frozen=True)
+class Characteristics:
+    """One row of the benchmark-characteristics table."""
+
+    name: str
+    filters: int
+    peeking: int
+    stateful: int
+    shortest_path: int
+    longest_path: int
+    comp_comm_ratio: float
+    stateful_work_pct: float
+
+    def row(self) -> Tuple:
+        return (
+            self.name,
+            self.filters,
+            self.peeking,
+            self.stateful,
+            self.shortest_path,
+            self.longest_path,
+            round(self.comp_comm_ratio, 1),
+            round(self.stateful_work_pct, 1),
+        )
+
+
+def _paths(graph: FlatGraph) -> Tuple[int, int]:
+    """Shortest and longest source-to-sink path length, counted in filters."""
+    order = graph.topological_order()
+    weight = {n: (1 if n.kind == FILTER else 0) for n in graph.nodes}
+    shortest: Dict[FlatNode, int] = {}
+    longest: Dict[FlatNode, int] = {}
+    for node in order:
+        preds = [e.src for e in node.in_edges if not e.initial]
+        if not preds:
+            shortest[node] = weight[node]
+            longest[node] = weight[node]
+        else:
+            shortest[node] = min(shortest[p] for p in preds) + weight[node]
+            longest[node] = max(longest[p] for p in preds) + weight[node]
+    sinks = graph.sinks
+    return min(shortest[s] for s in sinks), max(longest[s] for s in sinks)
+
+
+def characterize(name: str, stream: Stream) -> Characteristics:
+    """Compute the benchmark-characteristics row for one application.
+
+    Following the paper, file-I/O endpoints (sources and sinks) count
+    toward the filter total but are excluded from the stateful-work
+    accounting (they are not mapped to cores).
+    """
+    graph = flatten(stream)
+    reps = repetitions(graph)
+
+    filters = [n for n in graph.nodes if n.kind == FILTER]
+    interior = [
+        n for n in filters if n.filter.rate.pop > 0 and n.filter.rate.push > 0
+    ]
+    peeking = [n for n in interior if n.filter.rate.extra_peek > 0]
+    stateful = [n for n in interior if is_stateful(n.filter)]
+
+    total_work = sum(node_work(n) * reps[n] for n in interior)
+    stateful_work = sum(node_work(n) * reps[n] for n in stateful)
+    comm_items = sum(reps[e.src] * e.push_rate for e in graph.edges)
+
+    shortest, longest = _paths(graph)
+    return Characteristics(
+        name=name,
+        filters=len(filters),
+        peeking=len(peeking),
+        stateful=len(stateful),
+        shortest_path=shortest,
+        longest_path=longest,
+        comp_comm_ratio=total_work / max(comm_items, 1),
+        stateful_work_pct=100.0 * stateful_work / max(total_work, 1e-12),
+    )
+
+
+def characteristics_table(apps: Dict[str, object]) -> List[Characteristics]:
+    """Rows for a suite of app builders, sorted by stateful work ascending
+    (the paper's presentation order)."""
+    rows = [characterize(name, builder()) for name, builder in apps.items()]
+    rows.sort(key=lambda r: (r.stateful_work_pct, r.name))
+    return rows
+
+
+def format_table(rows: List[Characteristics]) -> str:
+    """Render rows like the paper's figure."""
+    header = (
+        f"{'Benchmark':16s} {'Filters':>7s} {'Peeking':>7s} {'Stateful':>8s} "
+        f"{'ShortPath':>9s} {'LongPath':>8s} {'Comp/Comm':>9s} {'Stateful%':>9s}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.name:16s} {r.filters:7d} {r.peeking:7d} {r.stateful:8d} "
+            f"{r.shortest_path:9d} {r.longest_path:8d} {r.comp_comm_ratio:9.1f} "
+            f"{r.stateful_work_pct:9.1f}"
+        )
+    return "\n".join(lines)

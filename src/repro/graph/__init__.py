@@ -1,0 +1,75 @@
+"""Stream-graph intermediate representation.
+
+The public surface mirrors the StreamIt language constructs:
+
+* :class:`Filter` with static ``peek``/``pop``/``push`` rates,
+* :class:`Pipeline`, :class:`SplitJoin`, :class:`FeedbackLoop` composites,
+* splitter/joiner constructors (:func:`duplicate`, :func:`roundrobin`,
+  :func:`joiner_roundrobin`, :func:`combine`, :func:`null_splitter`,
+  :func:`null_joiner`),
+* library filters (:class:`Identity`, sources, sinks, rate changers),
+* :func:`flatten` / :func:`validate` to lower a hierarchy to a
+  :class:`FlatGraph` for scheduling and execution.
+"""
+
+from repro.graph.base import Filter, Rate, Stream
+from repro.graph.builtins import (
+    ArraySource,
+    CollectSink,
+    Decimator,
+    Duplicator,
+    Expander,
+    FunctionFilter,
+    FunctionSource,
+    Identity,
+    NullSink,
+)
+from repro.graph.composites import FeedbackLoop, Pipeline, SplitJoin, pipeline, splitjoin
+from repro.graph.flatgraph import FILTER, JOINER, SPLITTER, FlatEdge, FlatGraph, FlatNode, flatten
+from repro.graph.splitjoin import (
+    JoinerSpec,
+    SplitterSpec,
+    combine,
+    duplicate,
+    joiner_roundrobin,
+    null_joiner,
+    null_splitter,
+    roundrobin,
+)
+from repro.graph.validation import validate
+
+__all__ = [
+    "Filter",
+    "Rate",
+    "Stream",
+    "Pipeline",
+    "SplitJoin",
+    "FeedbackLoop",
+    "pipeline",
+    "splitjoin",
+    "SplitterSpec",
+    "JoinerSpec",
+    "duplicate",
+    "roundrobin",
+    "joiner_roundrobin",
+    "combine",
+    "null_splitter",
+    "null_joiner",
+    "Identity",
+    "ArraySource",
+    "FunctionSource",
+    "CollectSink",
+    "NullSink",
+    "FunctionFilter",
+    "Decimator",
+    "Expander",
+    "Duplicator",
+    "FlatGraph",
+    "FlatNode",
+    "FlatEdge",
+    "FILTER",
+    "SPLITTER",
+    "JOINER",
+    "flatten",
+    "validate",
+]

@@ -1,0 +1,169 @@
+"""Library filters: identity, sources, sinks, and function lifting.
+
+These play the role of StreamIt's ``IDENTITY()``, file readers/writers and
+the small utility filters every application needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.errors import ValidationError
+from repro.graph.base import Filter
+
+
+class Identity(Filter):
+    """Outputs exactly the items it inputs (StreamIt's ``IDENTITY()``)."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(pop=1, push=1, name=name)
+
+    def work(self) -> None:
+        self.push(self.pop())
+
+
+class ArraySource(Filter):
+    """Pushes items from a fixed sequence, cycling when exhausted.
+
+    Cycling keeps the source a legal static-rate SDF actor for arbitrarily
+    long executions; tests that care about exact data size the sequence to
+    the number of items they consume.
+    """
+
+    def __init__(self, data: Sequence[float], name: Optional[str] = None) -> None:
+        super().__init__(pop=0, push=1, name=name)
+        data = list(data)
+        if not data:
+            raise ValidationError("ArraySource requires at least one item")
+        self.data = data
+        self._pos = 0
+
+    def init(self) -> None:
+        self._pos = 0
+
+    def work(self) -> None:
+        self.push(self.data[self._pos])
+        self._pos = (self._pos + 1) % len(self.data)
+
+
+class FunctionSource(Filter):
+    """Pushes ``fn(i)`` for ``i = 0, 1, 2, …`` — a deterministic generator."""
+
+    def __init__(self, fn: Callable[[int], float], name: Optional[str] = None) -> None:
+        super().__init__(pop=0, push=1, name=name)
+        self.fn = fn
+        self._i = 0
+
+    def init(self) -> None:
+        self._i = 0
+
+    def work(self) -> None:
+        self.push(self.fn(self._i))
+        self._i += 1
+
+
+class CollectSink(Filter):
+    """Consumes one item per firing, recording everything it sees."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(pop=1, push=0, name=name)
+        self.collected: List[float] = []
+
+    def init(self) -> None:
+        self.collected = []
+
+    def work(self) -> None:
+        self.collected.append(self.pop())
+
+
+class NullSink(Filter):
+    """Consumes and discards one item per firing."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(pop=1, push=0, name=name)
+
+    def work(self) -> None:
+        self.pop()
+
+
+class FunctionFilter(Filter):
+    """Lifts a Python function over windows of the stream.
+
+    Per firing, ``fn`` receives the ``peek``-item window (oldest first) and
+    must return ``push`` output items; ``pop`` items are then consumed.
+    Useful for tests and quick prototyping; *not* analyzable by linear
+    extraction (use a real ``Filter`` subclass for that).
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Sequence[float]], Sequence[float]],
+        *,
+        pop: int,
+        push: int,
+        peek: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(pop=pop, push=push, peek=peek, name=name)
+        self.fn = fn
+
+    def work(self) -> None:
+        window = [self.peek(i) for i in range(self.rate.peek)]
+        out = self.fn(window)
+        if len(out) != self.rate.push:
+            raise ValidationError(
+                f"{self.name}: fn returned {len(out)} items, declared push={self.rate.push}"
+            )
+        for _ in range(self.rate.pop):
+            self.pop()
+        for item in out:
+            self.push(item)
+
+
+class Decimator(Filter):
+    """Keeps one item out of every ``factor`` (a compressor)."""
+
+    def __init__(self, factor: int, offset: int = 0, name: Optional[str] = None) -> None:
+        if factor < 1:
+            raise ValidationError(f"decimation factor must be >= 1, got {factor}")
+        if not 0 <= offset < factor:
+            raise ValidationError(f"offset must be in [0, {factor}), got {offset}")
+        super().__init__(pop=factor, push=1, name=name)
+        self.factor = factor
+        self.offset = offset
+
+    def work(self) -> None:
+        kept = self.peek(self.offset)
+        for _ in range(self.factor):
+            self.pop()
+        self.push(kept)
+
+
+class Expander(Filter):
+    """Inserts ``factor - 1`` zeros after every input item (an expander)."""
+
+    def __init__(self, factor: int, name: Optional[str] = None) -> None:
+        if factor < 1:
+            raise ValidationError(f"expansion factor must be >= 1, got {factor}")
+        super().__init__(pop=1, push=factor, name=name)
+        self.factor = factor
+
+    def work(self) -> None:
+        self.push(self.pop())
+        for _ in range(self.factor - 1):
+            self.push(0.0)
+
+
+class Duplicator(Filter):
+    """Pushes each input item ``copies`` times."""
+
+    def __init__(self, copies: int, name: Optional[str] = None) -> None:
+        if copies < 1:
+            raise ValidationError(f"copies must be >= 1, got {copies}")
+        super().__init__(pop=1, push=copies, name=name)
+        self.copies = copies
+
+    def work(self) -> None:
+        item = self.pop()
+        for _ in range(self.copies):
+            self.push(item)

@@ -1,0 +1,183 @@
+"""Composite stream constructs: Pipeline, SplitJoin, FeedbackLoop.
+
+Each composite has (at most) a single input and single output, so composites
+nest recursively — the central structural idea of the StreamIt language.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ValidationError
+from repro.graph.base import Filter, Stream
+from repro.graph.splitjoin import JoinerSpec, SplitterSpec
+
+
+class Pipeline(Stream):
+    """A sequence of streams, the output of each feeding the next.
+
+    Children may be passed to the constructor or appended with :meth:`add`
+    (the analogue of StreamIt's ``add`` inside ``init``).
+    """
+
+    def __init__(self, *children: Stream, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self._children: List[Stream] = []
+        for child in children:
+            self.add(child)
+
+    def add(self, child: Stream) -> Stream:
+        """Append ``child`` to the pipeline and return it."""
+        if not isinstance(child, Stream):
+            raise ValidationError(f"Pipeline child must be a Stream, got {type(child)!r}")
+        if child.parent is not None:
+            raise ValidationError(
+                f"stream instance {child.name} already appears in the graph "
+                f"(under {child.parent.name}); each instance may be used once"
+            )
+        child.parent = self
+        self._children.append(child)
+        return child
+
+    def children(self) -> Tuple[Stream, ...]:
+        return tuple(self._children)
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def __getitem__(self, index: int) -> Stream:
+        return self._children[index]
+
+
+class SplitJoin(Stream):
+    """Parallel child streams between a splitter and a joiner."""
+
+    def __init__(
+        self,
+        splitter: SplitterSpec,
+        children: Iterable[Stream],
+        joiner: JoinerSpec,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name)
+        if not isinstance(splitter, SplitterSpec):
+            raise ValidationError(f"expected SplitterSpec, got {type(splitter)!r}")
+        if not isinstance(joiner, JoinerSpec):
+            raise ValidationError(f"expected JoinerSpec, got {type(joiner)!r}")
+        self.splitter = splitter
+        self.joiner = joiner
+        self._children: List[Stream] = []
+        for child in children:
+            if child.parent is not None:
+                raise ValidationError(
+                    f"stream instance {child.name} already appears in the graph"
+                )
+            child.parent = self
+            self._children.append(child)
+        if not self._children:
+            raise ValidationError("SplitJoin requires at least one branch")
+        n = len(self._children)
+        if splitter.weights is not None and len(splitter.weights) != n:
+            raise ValidationError(
+                f"splitter has {len(splitter.weights)} weights for {n} branches"
+            )
+        if joiner.weights is not None and len(joiner.weights) != n:
+            raise ValidationError(
+                f"joiner has {len(joiner.weights)} weights for {n} branches"
+            )
+
+    def children(self) -> Tuple[Stream, ...]:
+        return tuple(self._children)
+
+    @property
+    def n_branches(self) -> int:
+        return len(self._children)
+
+    def split_weights(self) -> Tuple[int, ...]:
+        """Items delivered to each branch per splitter cycle."""
+        return self.splitter.resolved_weights(self.n_branches)
+
+    def join_weights(self) -> Tuple[int, ...]:
+        """Items collected from each branch per joiner cycle."""
+        return self.joiner.resolved_weights(self.n_branches)
+
+
+class FeedbackLoop(Stream):
+    """A cycle in the stream graph.
+
+    Topology (matching the paper's Figure "FeedbackLoop construct")::
+
+            input ──► joiner ──► body ──► splitter ──► output
+                        ▲                     │
+                        └──── loopback ◄──────┘
+
+    The joiner's branch 0 is the external input and branch 1 the loopback;
+    the splitter's branch 0 is the external output and branch 1 feeds the
+    loopback stream.  ``delay`` items are prefilled on the loopback channel
+    by calling ``init_path(0), …, init_path(delay-1)`` before execution, so
+    the joiner can fire before the body has produced anything.
+    """
+
+    def __init__(
+        self,
+        joiner: JoinerSpec,
+        body: Stream,
+        splitter: SplitterSpec,
+        loopback: Stream,
+        delay: int,
+        init_path: Optional[Callable[[int], float]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name)
+        if joiner.kind == "null" or splitter.kind == "null":
+            raise ValidationError("feedback loop splitter/joiner must not be NULL")
+        if joiner.weights is not None and len(joiner.weights) != 2:
+            raise ValidationError("feedback joiner must have exactly two input weights")
+        if splitter.weights is not None and len(splitter.weights) != 2:
+            raise ValidationError("feedback splitter must have exactly two output weights")
+        if delay < 0:
+            raise ValidationError(f"delay must be non-negative, got {delay}")
+        for child, role in ((body, "body"), (loopback, "loopback")):
+            if not isinstance(child, Stream):
+                raise ValidationError(f"feedback {role} must be a Stream")
+            if child.parent is not None:
+                raise ValidationError(
+                    f"stream instance {child.name} already appears in the graph"
+                )
+            child.parent = self
+        self.joiner = joiner
+        self.body = body
+        self.splitter = splitter
+        self.loopback = loopback
+        self.delay = delay
+        self.init_path = init_path if init_path is not None else (lambda i: 0.0)
+
+    def children(self) -> Tuple[Stream, ...]:
+        return (self.body, self.loopback)
+
+    def join_weights(self) -> Tuple[int, ...]:
+        """(external, loopback) items consumed per joiner cycle."""
+        return self.joiner.resolved_weights(2)
+
+    def split_weights(self) -> Tuple[int, ...]:
+        """(external, loopback) items produced per splitter cycle."""
+        return self.splitter.resolved_weights(2)
+
+    def initial_values(self) -> List[float]:
+        """The ``delay`` items prefilled on the loopback channel."""
+        return [self.init_path(i) for i in range(self.delay)]
+
+
+def pipeline(*children: Stream, name: Optional[str] = None) -> Pipeline:
+    """Convenience constructor for :class:`Pipeline`."""
+    return Pipeline(*children, name=name)
+
+
+def splitjoin(
+    splitter: SplitterSpec,
+    children: Sequence[Stream],
+    joiner: JoinerSpec,
+    name: Optional[str] = None,
+) -> SplitJoin:
+    """Convenience constructor for :class:`SplitJoin`."""
+    return SplitJoin(splitter, children, joiner, name=name)

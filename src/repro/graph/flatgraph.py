@@ -1,0 +1,364 @@
+"""Flattening of hierarchical stream graphs.
+
+The hierarchical ``Stream`` structure is convenient for programmers and for
+the structural optimizers, but scheduling, execution, ``sdep`` computation
+and machine mapping all operate on a *flat graph*: filters plus explicit
+splitter/joiner nodes, connected by edges that carry static per-firing rates.
+
+Flat nodes:
+
+* ``filter`` — one input port (unless a source), one output port (unless a
+  sink); consumes ``pop`` / peeks ``peek`` / produces ``push`` per firing.
+* ``splitter`` — one input port, one output port per branch; a *firing* is
+  one splitter cycle (consuming ``sum(weights)`` items for round-robin, or
+  one item for duplicate).
+* ``joiner`` — one input port per branch, one output port; one firing is one
+  joiner cycle.
+
+Feedback loops flatten to a joiner and splitter with the loopback edge
+carrying ``delay`` initial items.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ValidationError
+from repro.graph.base import Filter, Stream
+from repro.graph.composites import FeedbackLoop, Pipeline, SplitJoin
+from repro.graph.splitjoin import COMBINE, DUPLICATE, JoinerSpec, NULL, SplitterSpec
+
+FILTER = "filter"
+SPLITTER = "splitter"
+JOINER = "joiner"
+
+_flat_ids = itertools.count()
+
+
+@dataclass(eq=False)
+class FlatNode:
+    """One node of the flattened stream graph."""
+
+    kind: str
+    name: str
+    # Per-firing consumption for each input port / production per output port.
+    in_rates: Tuple[int, ...]
+    out_rates: Tuple[int, ...]
+    # Extra lookahead beyond pop (filters only; 0 for splitters/joiners).
+    peek_extra: int = 0
+    # The originating object: a Filter, or the SplitJoin/FeedbackLoop that
+    # owns this splitter/joiner.
+    obj: Optional[Union[Filter, SplitJoin, FeedbackLoop]] = None
+    # Splitter/joiner flavour: "duplicate"/"roundrobin"/"combine"/"null".
+    flavor: Optional[str] = None
+    uid: int = field(default_factory=lambda: next(_flat_ids))
+
+    # Filled in by FlatGraph construction:
+    in_edges: List["FlatEdge"] = field(default_factory=list)
+    out_edges: List["FlatEdge"] = field(default_factory=list)
+
+    @property
+    def filter(self) -> Filter:
+        assert self.kind == FILTER and isinstance(self.obj, Filter)
+        return self.obj
+
+    @property
+    def total_pop(self) -> int:
+        """Items consumed across all input ports per firing."""
+        return sum(self.in_rates)
+
+    @property
+    def total_push(self) -> int:
+        """Items produced across all output ports per firing."""
+        return sum(self.out_rates)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FlatNode {self.kind}:{self.name}>"
+
+
+@dataclass(eq=False)
+class FlatEdge:
+    """A directed channel between two flat-node ports."""
+
+    src: FlatNode
+    src_port: int
+    dst: FlatNode
+    dst_port: int
+    # Items pre-filled on this channel before execution (feedback delay).
+    initial: Tuple[float, ...] = ()
+
+    @property
+    def push_rate(self) -> int:
+        """Items the producer pushes onto this edge per firing."""
+        return self.src.out_rates[self.src_port]
+
+    @property
+    def pop_rate(self) -> int:
+        """Items the consumer pops from this edge per firing."""
+        return self.dst.in_rates[self.dst_port]
+
+    @property
+    def peek_rate(self) -> int:
+        """Items the consumer must see on this edge to fire."""
+        return self.dst.in_rates[self.dst_port] + (
+            self.dst.peek_extra if self.dst.kind == FILTER else 0
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Edge {self.src.name}[{self.src_port}] -> {self.dst.name}[{self.dst_port}]>"
+
+
+class FlatGraph:
+    """The flattened form of a stream graph."""
+
+    def __init__(self, nodes: List[FlatNode], edges: List[FlatEdge], root: Stream) -> None:
+        self.nodes = nodes
+        self.edges = edges
+        self.root = root
+        self._by_filter: Dict[int, FlatNode] = {
+            node.obj.uid: node for node in nodes if node.kind == FILTER and node.obj
+        }
+        for node in nodes:
+            node.in_edges = []
+            node.out_edges = []
+        for edge in edges:
+            edge.src.out_edges.append(edge)
+            edge.dst.in_edges.append(edge)
+        for node in nodes:
+            node.in_edges.sort(key=lambda e: e.dst_port)
+            node.out_edges.sort(key=lambda e: e.src_port)
+
+    # -- lookup -------------------------------------------------------------
+
+    def node_for(self, filt: Filter) -> FlatNode:
+        """The flat node wrapping a given filter instance."""
+        return self._by_filter[filt.uid]
+
+    @property
+    def sources(self) -> List[FlatNode]:
+        """Nodes with no input edges (external data producers)."""
+        return [n for n in self.nodes if not n.in_edges]
+
+    @property
+    def sinks(self) -> List[FlatNode]:
+        """Nodes with no output edges (external data consumers)."""
+        return [n for n in self.nodes if not n.out_edges]
+
+    def filter_nodes(self) -> List[FlatNode]:
+        return [n for n in self.nodes if n.kind == FILTER]
+
+    # -- analysis helpers ----------------------------------------------------
+
+    def topological_order(self) -> List[FlatNode]:
+        """Topological order ignoring feedback (loopback) edges.
+
+        Edges carrying initial items are treated as broken for ordering,
+        which matches how SDF graphs with delays are scheduled.
+        """
+        indeg: Dict[FlatNode, int] = {n: 0 for n in self.nodes}
+        forward_edges = [e for e in self.edges if not e.initial]
+        for edge in forward_edges:
+            indeg[edge.dst] += 1
+        ready = [n for n in self.nodes if indeg[n] == 0]
+        order: List[FlatNode] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for edge in node.out_edges:
+                if edge.initial:
+                    continue
+                indeg[edge.dst] -= 1
+                if indeg[edge.dst] == 0:
+                    ready.append(edge.dst)
+        if len(order) != len(self.nodes):
+            raise ValidationError(
+                "stream graph contains a cycle with no initial delay items; "
+                "such a feedback loop can never fire (deadlock)"
+            )
+        return order
+
+    def to_networkx(self):
+        """Export as a ``networkx.MultiDiGraph`` for external analyses."""
+        import networkx as nx
+
+        g = nx.MultiDiGraph()
+        for node in self.nodes:
+            g.add_node(node.uid, kind=node.kind, name=node.name)
+        for edge in self.edges:
+            g.add_edge(
+                edge.src.uid,
+                edge.dst.uid,
+                push=edge.push_rate,
+                pop=edge.pop_rate,
+                initial=len(edge.initial),
+            )
+        return g
+
+
+# ---------------------------------------------------------------------------
+# Flattening
+# ---------------------------------------------------------------------------
+
+#: An unconnected port during flattening: (node, port index) or None when the
+#: sub-stream has no external input/output (source/sink subgraphs).
+_Port = Optional[Tuple[FlatNode, int]]
+
+
+class _Flattener:
+    def __init__(self) -> None:
+        self.nodes: List[FlatNode] = []
+        self.edges: List[FlatEdge] = []
+
+    def flatten(self, stream: Stream) -> Tuple[_Port, _Port]:
+        if isinstance(stream, Filter):
+            return self._flatten_filter(stream)
+        if isinstance(stream, Pipeline):
+            return self._flatten_pipeline(stream)
+        if isinstance(stream, SplitJoin):
+            return self._flatten_splitjoin(stream)
+        if isinstance(stream, FeedbackLoop):
+            return self._flatten_feedback(stream)
+        raise ValidationError(f"cannot flatten stream of type {type(stream)!r}")
+
+    def _connect(self, out_port: _Port, in_port: _Port, initial: Tuple[float, ...] = ()) -> None:
+        if out_port is None and in_port is None:
+            return
+        if out_port is None or in_port is None:
+            src = "nothing" if out_port is None else out_port[0].name
+            dst = "nothing" if in_port is None else in_port[0].name
+            raise ValidationError(
+                f"rate mismatch while connecting streams: {src} -> {dst}; a "
+                "stream producing no output feeds one expecting input (or vice versa)"
+            )
+        (src, sp), (dst, dp) = out_port, in_port
+        self.edges.append(FlatEdge(src, sp, dst, dp, initial=initial))
+
+    def _flatten_filter(self, filt: Filter) -> Tuple[_Port, _Port]:
+        in_rates = (filt.rate.pop,) if filt.rate.peek > 0 else ()
+        out_rates = (filt.rate.push,) if filt.rate.push > 0 else ()
+        node = FlatNode(
+            kind=FILTER,
+            name=filt.name,
+            in_rates=in_rates,
+            out_rates=out_rates,
+            peek_extra=filt.rate.extra_peek,
+            obj=filt,
+        )
+        self.nodes.append(node)
+        in_port = (node, 0) if in_rates else None
+        out_port = (node, 0) if out_rates else None
+        return in_port, out_port
+
+    def _flatten_pipeline(self, pipe: Pipeline) -> Tuple[_Port, _Port]:
+        if len(pipe) == 0:
+            raise ValidationError(f"pipeline {pipe.name} has no children")
+        first_in: _Port = None
+        prev_out: _Port = None
+        for i, child in enumerate(pipe.children()):
+            child_in, child_out = self.flatten(child)
+            if i == 0:
+                first_in = child_in
+            else:
+                self._connect(prev_out, child_in)
+            prev_out = child_out
+        return first_in, prev_out
+
+    def _flatten_splitjoin(self, sj: SplitJoin) -> Tuple[_Port, _Port]:
+        n = sj.n_branches
+        split_weights = sj.split_weights()
+        join_weights = sj.join_weights()
+
+        splitter = FlatNode(
+            kind=SPLITTER,
+            name=f"{sj.name}.split",
+            in_rates=(sj.splitter.pop_per_cycle(n),) if sj.splitter.kind != NULL else (),
+            out_rates=split_weights if sj.splitter.kind != NULL else (0,) * n,
+            obj=sj,
+            flavor=sj.splitter.kind,
+        )
+        joiner = FlatNode(
+            kind=JOINER,
+            name=f"{sj.name}.join",
+            in_rates=join_weights if sj.joiner.kind != NULL else (0,) * n,
+            out_rates=(sj.joiner.push_per_cycle(n),) if sj.joiner.kind != NULL else (),
+            obj=sj,
+            flavor=sj.joiner.kind,
+        )
+        self.nodes.append(splitter)
+        for b, child in enumerate(sj.children()):
+            child_in, child_out = self.flatten(child)
+            if child_in is not None:
+                self._connect((splitter, b), child_in)
+            elif split_weights[b] != 0:
+                raise ValidationError(
+                    f"{sj.name}: branch {b} takes no input but splitter weight is "
+                    f"{split_weights[b]} (must be 0)"
+                )
+            if child_out is not None:
+                self._connect(child_out, (joiner, b))
+            elif join_weights[b] != 0:
+                raise ValidationError(
+                    f"{sj.name}: branch {b} produces no output but joiner weight is "
+                    f"{join_weights[b]} (must be 0)"
+                )
+        self.nodes.append(joiner)
+        in_port = (splitter, 0) if splitter.in_rates else None
+        out_port = (joiner, 0) if joiner.out_rates else None
+        return in_port, out_port
+
+    def _flatten_feedback(self, loop: FeedbackLoop) -> Tuple[_Port, _Port]:
+        join_weights = loop.join_weights()
+        split_weights = loop.split_weights()
+        joiner = FlatNode(
+            kind=JOINER,
+            name=f"{loop.name}.join",
+            in_rates=join_weights,
+            out_rates=(loop.joiner.push_per_cycle(2),),
+            obj=loop,
+            flavor=loop.joiner.kind,
+        )
+        splitter = FlatNode(
+            kind=SPLITTER,
+            name=f"{loop.name}.split",
+            in_rates=(loop.splitter.pop_per_cycle(2),),
+            out_rates=split_weights,
+            obj=loop,
+            flavor=loop.splitter.kind,
+        )
+        self.nodes.append(joiner)
+        body_in, body_out = self.flatten(loop.body)
+        self._connect((joiner, 0), body_in)
+        self._connect(body_out, (splitter, 0))
+        self.nodes.append(splitter)
+        loop_in, loop_out = self.flatten(loop.loopback)
+        self._connect((splitter, 1), loop_in)
+        self._connect(loop_out, (joiner, 1), initial=tuple(loop.initial_values()))
+        # External ports: joiner branch 0 input (may be weight 0 -> None only
+        # if NULL, which is forbidden for feedback loops), splitter branch 0.
+        in_port = (joiner, 0)
+        out_port = (splitter, 0)
+        return in_port, out_port
+
+
+def flatten(stream: Stream) -> FlatGraph:
+    """Flatten a hierarchical stream into a :class:`FlatGraph`.
+
+    The stream must be *closed*: its sources consume nothing from outside
+    and its sinks produce nothing (i.e. the top-level stream has no external
+    input or output channel).  Applications therefore include their own
+    source and sink filters, as the paper's examples do (``ReadFromAtoD``,
+    ``AudioBackEnd``).
+    """
+    flattener = _Flattener()
+    in_port, out_port = flattener.flatten(stream)
+    if in_port is not None:
+        raise ValidationError(
+            f"top-level stream {stream.name} expects external input; add a source filter"
+        )
+    if out_port is not None:
+        raise ValidationError(
+            f"top-level stream {stream.name} produces external output; add a sink filter"
+        )
+    return FlatGraph(flattener.nodes, flattener.edges, stream)

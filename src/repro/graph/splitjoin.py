@@ -1,0 +1,166 @@
+"""Splitter and joiner specifications for :class:`SplitJoin` and
+:class:`FeedbackLoop` constructs.
+
+The paper defines four kinds of splitters/joiners:
+
+* ``DUPLICATE`` splitter — every input item is copied to every branch.
+* ``ROUND_ROBIN`` / ``WEIGHTED_ROUND_ROBIN`` — items are distributed to (or
+  collected from) branches in order, ``w_i`` items to branch ``i`` per cycle.
+* ``COMBINE`` joiner — the dual of duplicate: one item is read from *every*
+  branch per output item (the paper leaves the merge operation abstract; we
+  default to taking the first branch's item, with an optional reducer).
+* ``NULL`` — processes no items (used for branches that consume/produce
+  nothing).
+
+Specs are immutable descriptions; their runtime behaviour lives in
+:mod:`repro.runtime.interpreter` and their scheduling behaviour in
+:mod:`repro.scheduling`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.errors import RateError
+
+DUPLICATE = "duplicate"
+ROUND_ROBIN = "roundrobin"
+COMBINE = "combine"
+NULL = "null"
+
+
+@dataclass(frozen=True)
+class SplitterSpec:
+    """Description of how a splitter distributes items to ``n`` branches.
+
+    For ``roundrobin``, ``weights[i]`` items go to branch ``i`` per splitter
+    cycle (one cycle consumes ``sum(weights)`` items).  For ``duplicate``,
+    one cycle consumes one item and pushes one copy to every branch.  For
+    ``null``, the splitter never consumes or produces.
+    """
+
+    kind: str
+    weights: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (DUPLICATE, ROUND_ROBIN, NULL):
+            raise RateError(f"unknown splitter kind {self.kind!r}")
+        if self.kind == ROUND_ROBIN:
+            # weights=None means "1 per branch", resolved against the branch
+            # count when the spec is attached to a SplitJoin.
+            if self.weights is not None:
+                if any(not isinstance(w, int) or w < 0 for w in self.weights):
+                    raise RateError(
+                        f"round-robin weights must be non-negative ints: {self.weights}"
+                    )
+                if sum(self.weights) == 0:
+                    raise RateError("round-robin splitter weights must not all be zero")
+        elif self.weights is not None:
+            raise RateError(f"{self.kind} splitter takes no weights")
+
+    def resolved_weights(self, n_branches: int) -> Tuple[int, ...]:
+        """Per-branch items pushed per splitter cycle."""
+        if self.kind == DUPLICATE:
+            return (1,) * n_branches
+        if self.kind == NULL:
+            return (0,) * n_branches
+        if self.weights is None:
+            return (1,) * n_branches
+        return self.weights
+
+    def pop_per_cycle(self, n_branches: int) -> int:
+        """Items consumed from the splitter input per cycle."""
+        if self.kind == DUPLICATE:
+            return 1
+        if self.kind == NULL:
+            return 0
+        return sum(self.resolved_weights(n_branches))
+
+
+@dataclass(frozen=True)
+class JoinerSpec:
+    """Description of how a joiner collects items from ``n`` branches.
+
+    For ``roundrobin``, ``weights[i]`` items are taken from branch ``i`` per
+    joiner cycle (one cycle produces ``sum(weights)`` items).  For
+    ``combine``, one item is taken from every branch and a single item is
+    produced by applying ``reducer`` (first-item selection by default, as the
+    duplicate-dual of the paper's ``COMBINE``).
+    """
+
+    kind: str
+    weights: Optional[Tuple[int, ...]] = None
+    reducer: Optional[Callable[[Sequence[float]], float]] = field(
+        default=None, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.kind not in (COMBINE, ROUND_ROBIN, NULL):
+            raise RateError(f"unknown joiner kind {self.kind!r}")
+        if self.kind == ROUND_ROBIN:
+            if self.weights is not None:
+                if any(not isinstance(w, int) or w < 0 for w in self.weights):
+                    raise RateError(
+                        f"round-robin weights must be non-negative ints: {self.weights}"
+                    )
+                if sum(self.weights) == 0:
+                    raise RateError("round-robin joiner weights must not all be zero")
+        elif self.weights is not None:
+            raise RateError(f"{self.kind} joiner takes no weights")
+
+    def resolved_weights(self, n_branches: int) -> Tuple[int, ...]:
+        """Per-branch items consumed per joiner cycle."""
+        if self.kind == COMBINE:
+            return (1,) * n_branches
+        if self.kind == NULL:
+            return (0,) * n_branches
+        if self.weights is None:
+            return (1,) * n_branches
+        return self.weights
+
+    def push_per_cycle(self, n_branches: int) -> int:
+        """Items produced onto the joiner output per cycle."""
+        if self.kind == COMBINE:
+            return 1
+        if self.kind == NULL:
+            return 0
+        return sum(self.resolved_weights(n_branches))
+
+
+def duplicate() -> SplitterSpec:
+    """A splitter that copies each input item to every branch."""
+    return SplitterSpec(DUPLICATE)
+
+
+def roundrobin(*weights: int) -> SplitterSpec:
+    """A (weighted) round-robin splitter.
+
+    ``roundrobin()`` with no arguments denotes weight 1 for every branch and
+    is resolved against the branch count when attached to a SplitJoin.
+    """
+    if not weights:
+        return SplitterSpec(ROUND_ROBIN, weights=None)  # resolved later
+    return SplitterSpec(ROUND_ROBIN, weights=tuple(weights))
+
+
+def joiner_roundrobin(*weights: int) -> JoinerSpec:
+    """A (weighted) round-robin joiner (weight 1 per branch if omitted)."""
+    if not weights:
+        return JoinerSpec(ROUND_ROBIN, weights=None)
+    return JoinerSpec(ROUND_ROBIN, weights=tuple(weights))
+
+
+def combine(reducer: Optional[Callable[[Sequence[float]], float]] = None) -> JoinerSpec:
+    """A combine joiner: one item from every branch merges to one output."""
+    return JoinerSpec(COMBINE, reducer=reducer)
+
+
+def null_splitter() -> SplitterSpec:
+    """A splitter that processes no items."""
+    return SplitterSpec(NULL)
+
+
+def null_joiner() -> JoinerSpec:
+    """A joiner that processes no items."""
+    return JoinerSpec(NULL)

@@ -1,0 +1,65 @@
+"""Structural semantic checks — the paper's "StreaMIT restrictions".
+
+Most restrictions are enforced at construction time (static rates, weight
+arity, single use of each stream instance, non-NULL feedback split/join).
+:func:`validate` performs the whole-graph checks that need the flattened
+form, and returns the flat graph so callers can reuse it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List
+
+from repro.errors import ValidationError
+from repro.graph.base import Filter, Stream
+from repro.graph.flatgraph import FILTER, FlatGraph, flatten
+
+
+def validate(stream: Stream) -> FlatGraph:
+    """Check all whole-graph semantic restrictions; return the flat graph.
+
+    Raises :class:`ValidationError` on the first violation found.
+    """
+    _check_unique_instances(stream)
+    graph = flatten(stream)
+    _check_edge_rates(graph)
+    _check_work_declared(graph)
+    # Cycle sanity: topological_order raises if a zero-delay cycle exists.
+    graph.topological_order()
+    return graph
+
+
+def _check_unique_instances(stream: Stream) -> None:
+    counts = Counter(s.uid for s in stream.streams())
+    dupes = [uid for uid, c in counts.items() if c > 1]
+    if dupes:
+        names = [s.name for s in stream.streams() if s.uid in dupes]
+        raise ValidationError(
+            f"stream instances appear more than once in the graph: {sorted(set(names))}"
+        )
+
+
+def _check_edge_rates(graph: FlatGraph) -> None:
+    for edge in graph.edges:
+        if edge.push_rate == 0 and edge.pop_rate > 0 and not edge.initial:
+            raise ValidationError(
+                f"channel {edge.src.name} -> {edge.dst.name} is starved: the "
+                f"producer pushes 0 items per firing but the consumer pops "
+                f"{edge.pop_rate}"
+            )
+        if edge.push_rate > 0 and edge.pop_rate == 0:
+            raise ValidationError(
+                f"channel {edge.src.name} -> {edge.dst.name} overflows: the "
+                f"producer pushes {edge.push_rate} items per firing but the "
+                f"consumer never pops"
+            )
+
+
+def _check_work_declared(graph: FlatGraph) -> None:
+    for node in graph.nodes:
+        if node.kind != FILTER:
+            continue
+        filt = node.filter
+        if type(filt).work is Filter.work:
+            raise ValidationError(f"filter {filt.name} does not implement work()")

@@ -1,0 +1,203 @@
+"""Linear combination: collapsing neighboring linear nodes into one.
+
+Combining two pipelined linear filters ``F`` (upstream) and ``G``
+(downstream) into a single :class:`LinearRep` eliminates the intermediate
+stream entirely — the combined matrix is (a rate-matched form of)
+``A_G · A_F``, removing redundant computation exactly as the paper
+describes.  Split-joins of linear branches collapse similarly, with the
+splitter/joiner data reordering folded into the matrix.
+
+Derivations (window index 0 = oldest item; ``peek - pop`` extra items are
+*newer* than the popped block):
+
+**Pipeline.**  With ``L = lcm(push_F, pop_G)``, one combined firing stands
+for ``k1 = L/push_F`` upstream and ``k2 = L/pop_G`` downstream firings.
+The downstream firings read intermediate window ``[jL, jL + L + e_G)``
+(``e_G = peek_G - pop_G``), which is produced by the first
+``m = ceil((L + e_G)/push_F)`` upstream firings starting at firing
+``j·k1`` — an exact alignment because ``jL`` is a multiple of ``push_F``.
+Hence with ``F_m = F.expand(m)`` and ``G_k = G.expand(k2)``::
+
+    A = A_{G_k} @ A_{F_m}[0 : L+e_G, :]
+    b = A_{G_k} @ b_{F_m}[0 : L+e_G] + b_{G_k}
+    pop = k1 · pop_F,   peek = peek_F + (m-1) · pop_F
+
+**Split-join.**  Each branch ``i`` is expanded to ``n_i`` firings per
+combined firing, where the ``n_i`` solve the local balance equations
+against the splitter weights ``v`` and joiner weights ``w``.  A branch
+window position maps to a combined input position through the splitter's
+distribution pattern (identity for duplicate; ``q·V + off_i + r`` with
+``q = p // v_i``, ``r = p % v_i`` for round-robin), and each expanded
+branch output row is placed at the joiner position ``t·W + off_i + s``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import ceil, gcd, lcm
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import StreamItError, ValidationError
+from repro.graph.splitjoin import DUPLICATE, JoinerSpec, ROUND_ROBIN, SplitterSpec
+from repro.linear.linrep import LinearRep
+
+
+def combine_pipeline(up: LinearRep, down: LinearRep) -> LinearRep:
+    """Collapse two pipelined linear reps into one (``up`` feeds ``down``)."""
+    L = lcm(up.push, down.pop)
+    k1 = L // up.push
+    k2 = L // down.pop
+    e_g = down.extra_peek
+    window = L + e_g
+    m = ceil(window / up.push)
+
+    F = up.expand(m)
+    G = down.expand(k2)
+    assert G.peek == window, (G.peek, window)
+
+    S_A = F.A[:window, :]
+    S_b = F.b[:window]
+    A = G.A @ S_A
+    b = G.A @ S_b + G.b
+    return LinearRep(A, b, pop=k1 * up.pop)
+
+
+def combine_pipeline_all(reps: Sequence[LinearRep]) -> LinearRep:
+    """Fold :func:`combine_pipeline` over a pipeline of linear reps."""
+    if not reps:
+        raise StreamItError("cannot combine an empty pipeline")
+    result = reps[0]
+    for rep in reps[1:]:
+        result = combine_pipeline(result, rep)
+    return result
+
+
+def _branch_firings(
+    reps: Sequence[LinearRep],
+    split_weights: Sequence[int],
+    join_weights: Sequence[int],
+    duplicate: bool,
+) -> Tuple[int, List[int], int]:
+    """Solve local balance equations: (splitter cycles S, firings n_i, joiner cycles J).
+
+    For duplicate splitters, S is the combined pop count (items each branch
+    consumes per combined firing).
+    """
+    n = len(reps)
+    if duplicate:
+        # n_i * push_i = J * w_i  and  n_i * pop_i identical for all i.
+        J = 1
+        for i in range(n):
+            J = lcm(J, reps[i].push // gcd(reps[i].push, join_weights[i]))
+        # Scale J so every n_i is integral.
+        while True:
+            ns = []
+            ok = True
+            for i in range(n):
+                num = J * join_weights[i]
+                if num % reps[i].push:
+                    ok = False
+                    break
+                ns.append(num // reps[i].push)
+            if ok:
+                break
+            J += J  # pragma: no cover - J above is already sufficient
+        pops = {ns[i] * reps[i].pop for i in range(n)}
+        if len(pops) != 1:
+            raise ValidationError(
+                "duplicate split-join branches consume at different rates; "
+                "no steady state exists (buffer overflow)"
+            )
+        return pops.pop(), ns, J
+
+    # Round-robin splitter: n_i * pop_i = S * v_i, n_i * push_i = J * w_i.
+    n_frac = [Fraction(split_weights[i], reps[i].pop) for i in range(n)]
+    j_frac = [n_frac[i] * reps[i].push / Fraction(join_weights[i]) for i in range(n)]
+    first = j_frac[0]
+    for i in range(1, n):
+        if j_frac[i] != first:
+            raise ValidationError(
+                "round-robin split-join branch rates are unbalanced; no "
+                "steady state exists (buffer overflow)"
+            )
+    scale = 1
+    for f in n_frac + j_frac:
+        scale = lcm(scale, f.denominator)
+    S = scale
+    ns = [int(n_frac[i] * S) for i in range(n)]
+    J = int(first * S)
+    return S, ns, J
+
+
+def combine_splitjoin(
+    reps: Sequence[LinearRep],
+    splitter: SplitterSpec,
+    joiner: JoinerSpec,
+) -> LinearRep:
+    """Collapse a split-join of linear branches into one linear rep.
+
+    Supports duplicate and (weighted) round-robin splitters with (weighted)
+    round-robin joiners — the combinations the paper's applications use.
+    """
+    n = len(reps)
+    if n == 0:
+        raise StreamItError("cannot combine an empty split-join")
+    if joiner.kind != ROUND_ROBIN:
+        raise StreamItError(
+            f"split-join combination requires a round-robin joiner, got {joiner.kind}"
+        )
+    if splitter.kind not in (DUPLICATE, ROUND_ROBIN):
+        raise StreamItError(
+            f"split-join combination requires duplicate or round-robin "
+            f"splitter, got {splitter.kind}"
+        )
+    duplicate = splitter.kind == DUPLICATE
+    v = splitter.resolved_weights(n)
+    w = joiner.resolved_weights(n)
+    if any(weight == 0 for weight in (v if not duplicate else w)) or any(
+        weight == 0 for weight in w
+    ):
+        raise StreamItError("zero-weight branches cannot be linearly combined")
+
+    S, ns, J = _branch_firings(reps, v, w, duplicate)
+    V = sum(v)
+    W = sum(w)
+    pop_c = S if duplicate else S * V
+    push_c = J * W
+
+    off_v = np.cumsum([0] + list(v[:-1]))
+    off_w = np.cumsum([0] + list(w[:-1]))
+
+    def input_position(branch: int, p: int) -> int:
+        """Map branch-stream position ``p`` to a combined input position."""
+        if duplicate:
+            return p
+        q, r = divmod(p, v[branch])
+        return q * V + int(off_v[branch]) + r
+
+    # Determine the combined peek width (windows extend into newer items).
+    peek_c = pop_c
+    expanded = [rep.expand(ns[i]) for i, rep in enumerate(reps)]
+    for i, exp in enumerate(expanded):
+        if exp.peek:
+            peek_c = max(peek_c, input_position(i, exp.peek - 1) + 1)
+
+    A = np.zeros((push_c, peek_c))
+    b = np.zeros(push_c)
+    for i, exp in enumerate(expanded):
+        # Scatter branch window columns into combined input positions.
+        cols = np.fromiter(
+            (input_position(i, p) for p in range(exp.peek)), dtype=np.int64, count=exp.peek
+        )
+        scattered = np.zeros((exp.push, peek_c))
+        scattered[:, cols] = exp.A
+        # Place each branch output row at its joiner position.
+        for t in range(J):
+            for s in range(w[i]):
+                out_row = t * W + int(off_w[i]) + s
+                branch_row = t * w[i] + s
+                A[out_row, :] = scattered[branch_row, :]
+                b[out_row] = exp.b[branch_row]
+    return LinearRep(A, b, pop=pop_c)

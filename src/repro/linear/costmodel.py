@@ -1,0 +1,104 @@
+"""FLOPs cost model for linear nodes: direct form vs. frequency domain.
+
+The optimizer compares the floating-point operations needed per steady-state
+input item under each implementation strategy, exactly as the paper's
+automatic selection does (the absolute constants matter less than the
+crossover structure: frequency translation wins once windows are long).
+
+Conventions:
+
+* **Direct form** — one firing computes ``y = A @ x + b``: a multiply and an
+  add per nonzero of ``A`` (``2·nnz``), plus one add per nonzero of ``b``.
+* **Frequency form** — a block of ``B`` firings shares one forward real FFT
+  of the ``N``-point input window, then needs one spectrum multiply
+  (``~6·N/2`` flops) and one inverse FFT per output position (``push``
+  of them), plus ``b`` adds.  We charge ``FFT_FLOPS_PER_POINT · N·log2(N)``
+  per transform (the classic ``~5 N log N`` real-FFT estimate, split-radix
+  style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.linear.linrep import LinearRep
+
+#: Flops per point-log-point of a real FFT (split-radix estimate).
+FFT_FLOPS_PER_POINT = 2.5
+
+#: Candidate block sizes (firings per frequency-domain work invocation).
+DEFAULT_BLOCKS = (8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def fft_size(rep: LinearRep, block: int) -> int:
+    """Transform length for a ``block``-firing frequency implementation."""
+    window = block * rep.pop + rep.extra_peek
+    n = 1
+    while n < window:
+        n *= 2
+    return n
+
+
+def direct_flops_per_firing(rep: LinearRep) -> float:
+    """Flops of one direct-form firing (``y = A @ x + b``)."""
+    return 2.0 * rep.nnz() + float(np.count_nonzero(rep.b))
+
+
+def direct_flops_per_input(rep: LinearRep) -> float:
+    """Direct-form flops per input item consumed."""
+    return direct_flops_per_firing(rep) / rep.pop
+
+
+def freq_flops_per_block(rep: LinearRep, block: int) -> float:
+    """Flops of one frequency-form invocation covering ``block`` firings."""
+    n = fft_size(rep, block)
+    fft_cost = FFT_FLOPS_PER_POINT * n * log2(n)
+    # one forward FFT + `push` inverse FFTs + `push` spectrum multiplies
+    spectrum_mult = 6.0 * (n / 2 + 1)
+    total = fft_cost * (1 + rep.push)
+    total += spectrum_mult * rep.push
+    total += float(np.count_nonzero(rep.b)) * block
+    return total
+
+
+def freq_flops_per_input(rep: LinearRep, block: int) -> float:
+    """Frequency-form flops per input item consumed."""
+    return freq_flops_per_block(rep, block) / (block * rep.pop)
+
+
+def best_block(rep: LinearRep, blocks: Sequence[int] = DEFAULT_BLOCKS) -> int:
+    """The block size minimizing frequency-form flops per input item."""
+    return min(blocks, key=lambda b: freq_flops_per_input(rep, b))
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Cost comparison for one linear node."""
+
+    rep: LinearRep
+    direct: float
+    freq: float
+    block: int
+
+    @property
+    def freq_wins(self) -> bool:
+        return self.freq < self.direct
+
+    @property
+    def best(self) -> float:
+        return min(self.direct, self.freq)
+
+
+def compare(rep: LinearRep, blocks: Sequence[int] = DEFAULT_BLOCKS) -> CostReport:
+    """Compare direct vs. frequency implementations of a linear rep."""
+    block = best_block(rep, blocks)
+    return CostReport(
+        rep=rep,
+        direct=direct_flops_per_input(rep),
+        freq=freq_flops_per_input(rep, block),
+        block=block,
+    )

@@ -1,0 +1,21 @@
+"""The simulated 16-core Raw-like target machine."""
+
+from repro.machine.model import ModelActor, ModelEdge, ModelGraph
+from repro.machine.raw import RawMachine
+from repro.machine.simulator import (
+    SimResult,
+    dag_makespan,
+    pipelined_ii,
+    single_core_baseline,
+)
+
+__all__ = [
+    "ModelActor",
+    "ModelEdge",
+    "ModelGraph",
+    "RawMachine",
+    "SimResult",
+    "dag_makespan",
+    "pipelined_ii",
+    "single_core_baseline",
+]

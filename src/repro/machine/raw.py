@@ -1,0 +1,74 @@
+"""The modeled target: a Raw-like 16-core grid processor.
+
+Single-issue in-order cores on a square mesh with a register-mapped
+on-chip network: one word per cycle per link, XY dimension-ordered
+routing.  Clocked at 450 MHz with one FLOP per cycle per core — peak
+16 x 450 = 7200 MFLOPS, matching the figure the paper quotes for its
+target.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class RawMachine:
+    """Machine parameters (defaults model the paper's 16-core Raw)."""
+
+    n_cores: int = 16
+    clock_hz: float = 450e6
+    flops_per_cycle: float = 1.0
+    #: cycles per word on a network link
+    link_cycles_per_word: float = 1.0
+    #: fixed per-hop latency in cycles
+    hop_latency: float = 1.0
+    #: cycles a core spends injecting/receiving one word
+    io_cycles_per_word: float = 1.0
+    #: fixed synchronization cost per cross-core channel per period
+    sync_cycles_per_channel: float = 4.0
+
+    @property
+    def side(self) -> int:
+        side = int(round(math.sqrt(self.n_cores)))
+        return side if side * side == self.n_cores else self.n_cores
+
+    @property
+    def peak_mflops(self) -> float:
+        return self.n_cores * self.flops_per_cycle * self.clock_hz / 1e6
+
+    # -- topology ---------------------------------------------------------------
+
+    def coords(self, core: int) -> Tuple[int, int]:
+        side = self.side
+        return core % side, core // side
+
+    def route(self, src: int, dst: int) -> List[Tuple[int, int]]:
+        """XY dimension-ordered route: the list of directed links used.
+
+        Links are identified as ``(core, direction)`` with direction 0=+x,
+        1=-x, 2=+y, 3=-y.
+        """
+        if src == dst:
+            return []
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        side = self.side
+        links: List[Tuple[int, int]] = []
+        x, y = sx, sy
+        while x != dx:
+            step = 1 if dx > x else -1
+            links.append((y * side + x, 0 if step > 0 else 1))
+            x += step
+        while y != dy:
+            step = 1 if dy > y else -1
+            links.append((y * side + x, 2 if step > 0 else 3))
+            y += step
+        return links
+
+    def hops(self, src: int, dst: int) -> int:
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)

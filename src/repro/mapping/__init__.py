@@ -1,0 +1,35 @@
+"""Multicore mapping: partitioning and the evaluation's six strategies."""
+
+from repro.mapping.partition import (
+    coarsen_stateless,
+    judicious_fission,
+    lpt_assign,
+    selective_fusion,
+)
+from repro.mapping.strategies import (
+    STRATEGIES,
+    StrategyResult,
+    combined,
+    data_parallel,
+    evaluate_all,
+    fine_grained,
+    software_pipeline,
+    space_multiplex,
+    task_parallel,
+)
+
+__all__ = [
+    "lpt_assign",
+    "selective_fusion",
+    "coarsen_stateless",
+    "judicious_fission",
+    "STRATEGIES",
+    "StrategyResult",
+    "task_parallel",
+    "fine_grained",
+    "data_parallel",
+    "software_pipeline",
+    "combined",
+    "space_multiplex",
+    "evaluate_all",
+]

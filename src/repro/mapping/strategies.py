@@ -1,0 +1,220 @@
+"""The six mapping strategies the evaluation compares.
+
+Each strategy takes a built application, transforms its model graph,
+assigns actors to cores, and evaluates throughput on the simulated
+16-core machine:
+
+========================  ==========================================  ==========
+strategy                  transformation                              discipline
+========================  ==========================================  ==========
+``task``                  none (fork/join over split-join branches)   DAG
+``fine_grained``          fiss *every* stateless filter 16 ways       DAG
+``data`` (task+data)      coarsen stateless regions, judicious fiss   DAG
+``softpipe`` (task+SWP)   selective fusion                            pipelined
+``combined`` (T+D+SWP)    coarsen + fiss + selective fusion           pipelined
+``space`` (prior work)    selective fusion to one actor per core      pipelined
+========================  ==========================================  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import MachineError
+from repro.graph.base import Filter, Stream
+from repro.graph.composites import FeedbackLoop, Pipeline, SplitJoin
+from repro.graph.flatgraph import FILTER, FlatNode
+from repro.machine.model import ModelActor, ModelGraph
+from repro.machine.raw import RawMachine
+from repro.machine.simulator import (
+    SimResult,
+    dag_makespan,
+    pipelined_ii,
+    single_core_baseline,
+)
+from repro.mapping.partition import (
+    coarsen_stateless,
+    judicious_fission,
+    lpt_assign,
+    selective_fusion,
+)
+
+
+@dataclass(frozen=True)
+class StrategyResult:
+    """One strategy's mapping and its simulated throughput."""
+
+    name: str
+    model: ModelGraph
+    assignment: Dict[ModelActor, int]
+    sim: SimResult
+    baseline: SimResult
+
+    @property
+    def speedup(self) -> float:
+        """Throughput gain over sequential execution on one core."""
+        return self.baseline.cycles_per_period / self.sim.cycles_per_period
+
+
+# ---------------------------------------------------------------------------
+# Task parallelism: fork/join over split-join branches
+# ---------------------------------------------------------------------------
+
+
+def _task_parallel_cores(stream: Stream, n_cores: int) -> Dict[int, int]:
+    """Core for every stream uid under the pure fork/join discipline.
+
+    Pipeline children share their parent's core pool (stages execute
+    sequentially within a period); split-join branches divide the pool.
+    """
+    cores: Dict[int, int] = {}
+
+    def assign(s: Stream, pool: List[int]) -> None:
+        cores[s.uid] = pool[0]
+        if isinstance(s, Pipeline):
+            for child in s.children():
+                assign(child, pool)
+        elif isinstance(s, SplitJoin):
+            kids = s.children()
+            n = len(kids)
+            for i, child in enumerate(kids):
+                if n <= len(pool):
+                    lo = i * len(pool) // n
+                    hi = max(lo + 1, (i + 1) * len(pool) // n)
+                    assign(child, pool[lo:hi])
+                else:
+                    assign(child, [pool[i % len(pool)]])
+        elif isinstance(s, FeedbackLoop):
+            assign(s.body, pool)
+            assign(s.loopback, pool)
+
+    assign(stream, list(range(n_cores)))
+    return cores
+
+
+def task_parallel(stream: Stream, machine: RawMachine = RawMachine()) -> StrategyResult:
+    """The task-parallel baseline (the evaluation's first bar)."""
+    model = ModelGraph.from_stream(stream)
+    cores = _task_parallel_cores(stream, machine.n_cores)
+    assignment: Dict[ModelActor, int] = {}
+    for actor in model.compute_actors():
+        node = actor.origin
+        assert isinstance(node, FlatNode)
+        owner = node.obj
+        uid = owner.uid if owner is not None else None
+        if uid is None or uid not in cores:
+            raise MachineError(f"no task-parallel core for actor {actor.name}")
+        assignment[actor] = cores[uid]
+    sim = dag_makespan(model, assignment, machine)
+    return StrategyResult("task", model, assignment, sim, single_core_baseline(model, machine))
+
+
+# ---------------------------------------------------------------------------
+# Fine-grained data parallelism (the cautionary tale)
+# ---------------------------------------------------------------------------
+
+
+def fine_grained(stream: Stream, machine: RawMachine = RawMachine()) -> StrategyResult:
+    """Naively replicate every stateless filter across all cores."""
+    base = ModelGraph.from_stream(stream)
+    model = base.copy()
+    for actor in list(model.actors):
+        if actor.io or actor.router or actor.stateful:
+            continue
+        replicas = model.fiss(actor, machine.n_cores)
+        del replicas
+    assignment: Dict[ModelActor, int] = {}
+    cursor = 0
+    for actor in model.compute_actors():
+        if "#" in actor.name:
+            assignment[actor] = int(actor.name.rsplit("#", 1)[1]) % machine.n_cores
+        else:
+            assignment[actor] = cursor % machine.n_cores
+            cursor += 1
+    sim = dag_makespan(model, assignment, machine)
+    return StrategyResult("fine_grained", model, assignment, sim, single_core_baseline(base, machine))
+
+
+# ---------------------------------------------------------------------------
+# Coarse-grained data parallelism
+# ---------------------------------------------------------------------------
+
+
+def data_parallel(stream: Stream, machine: RawMachine = RawMachine()) -> StrategyResult:
+    """Task + coarse-grained data parallelism (fuse, then fiss judiciously)."""
+    base = ModelGraph.from_stream(stream)
+    model = judicious_fission(coarsen_stateless(base), machine.n_cores)
+    assignment = lpt_assign(model, machine.n_cores)
+    sim = dag_makespan(model, assignment, machine)
+    return StrategyResult("data", model, assignment, sim, single_core_baseline(base, machine))
+
+
+# ---------------------------------------------------------------------------
+# Coarse-grained software pipelining
+# ---------------------------------------------------------------------------
+
+
+def software_pipeline(stream: Stream, machine: RawMachine = RawMachine()) -> StrategyResult:
+    """Task + software pipelining: selective fusion, then pack the
+    dependence-free steady state."""
+    base = ModelGraph.from_stream(stream)
+    model = selective_fusion(base, 2 * machine.n_cores)
+    assignment = lpt_assign(model, machine.n_cores)
+    sim = pipelined_ii(model, assignment, machine)
+    return StrategyResult("softpipe", model, assignment, sim, single_core_baseline(base, machine))
+
+
+def combined(stream: Stream, machine: RawMachine = RawMachine()) -> StrategyResult:
+    """Task + data + software pipelining (the paper's full technique).
+
+    Software-pipelines the data-parallelized graph: the same coarsen+fiss
+    model as :func:`data_parallel`, but executed with intra-period
+    dependences absorbed by the pipeline prologue.
+    """
+    base = ModelGraph.from_stream(stream)
+    model = judicious_fission(coarsen_stateless(base), machine.n_cores)
+    model = selective_fusion(model, 2 * machine.n_cores, protect_replicas=True)
+    assignment = lpt_assign(model, machine.n_cores)
+    sim = pipelined_ii(model, assignment, machine)
+    return StrategyResult("combined", model, assignment, sim, single_core_baseline(base, machine))
+
+
+# ---------------------------------------------------------------------------
+# Prior work: space multiplexing (task + pipeline parallelism)
+# ---------------------------------------------------------------------------
+
+
+def space_multiplex(stream: Stream, machine: RawMachine = RawMachine()) -> StrategyResult:
+    """The previous StreamIt backend: fuse to one filter per tile, run
+    hardware-pipelined — no data parallelism, so a dominant filter bounds
+    throughput."""
+    base = ModelGraph.from_stream(stream)
+    model = selective_fusion(base, machine.n_cores)
+    actors = sorted(model.compute_actors(), key=lambda a: -a.work)
+    assignment = {actor: i % machine.n_cores for i, actor in enumerate(actors)}
+    sim = pipelined_ii(model, assignment, machine)
+    return StrategyResult("space", model, assignment, sim, single_core_baseline(base, machine))
+
+
+STRATEGIES: Dict[str, Callable[..., StrategyResult]] = {
+    "task": task_parallel,
+    "fine_grained": fine_grained,
+    "data": data_parallel,
+    "softpipe": software_pipeline,
+    "combined": combined,
+    "space": space_multiplex,
+}
+
+
+def evaluate_all(
+    stream_builder: Callable[[], Stream],
+    machine: RawMachine = RawMachine(),
+    strategies: Optional[List[str]] = None,
+) -> Dict[str, StrategyResult]:
+    """Run the requested strategies, each on a freshly built app."""
+    names = strategies or list(STRATEGIES)
+    results: Dict[str, StrategyResult] = {}
+    for name in names:
+        results[name] = STRATEGIES[name](stream_builder(), machine)
+    return results

@@ -1,0 +1,16 @@
+"""Runtime execution: channels, the interpreter, and teleport messaging."""
+
+from repro.runtime.channel import Channel, ChannelUnderflow
+from repro.runtime.interpreter import Interpreter, run_to_list
+from repro.runtime.messaging import BEST_EFFORT, PendingMessage, Portal, TimeInterval
+
+__all__ = [
+    "Channel",
+    "ChannelUnderflow",
+    "Interpreter",
+    "run_to_list",
+    "Portal",
+    "TimeInterval",
+    "PendingMessage",
+    "BEST_EFFORT",
+]

@@ -1,0 +1,95 @@
+"""FIFO channels ("tapes") connecting filters at runtime.
+
+A channel records the *history counters* used throughout the paper's
+semantics: ``pushed_count`` is ``n(t)`` (total items ever pushed onto tape
+``t``) and ``popped_count`` is ``p(t)``.  Occupancy is ``n(t) - p(t)``.
+
+The buffer is a Python list with a moving head index; ``pop`` is amortized
+O(1) and ``peek(i)`` is O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.errors import StreamItError
+
+_COMPACT_THRESHOLD = 4096
+
+
+class ChannelUnderflow(StreamItError):
+    """An attempt to pop or peek beyond the items available on a channel."""
+
+
+class Channel:
+    """A typed FIFO queue between two filters (the paper's ``Channel``)."""
+
+    __slots__ = ("name", "_buf", "_head", "pushed_count", "popped_count")
+
+    def __init__(self, name: str = "", initial: Iterable[float] = ()) -> None:
+        self.name = name
+        self._buf: List[float] = list(initial)
+        self._head = 0
+        #: n(t): total items ever pushed (initial delay items count).
+        self.pushed_count = len(self._buf)
+        #: p(t): total items ever popped.
+        self.popped_count = 0
+
+    def __len__(self) -> int:
+        return len(self._buf) - self._head
+
+    @property
+    def occupancy(self) -> int:
+        """Items currently live on the channel (``n(t) - p(t)``)."""
+        return len(self._buf) - self._head
+
+    def push(self, item: float) -> None:
+        """Enqueue ``item`` at the back of the channel."""
+        self._buf.append(item)
+        self.pushed_count += 1
+
+    def push_many(self, items: Iterable[float]) -> None:
+        """Enqueue several items preserving order."""
+        before = len(self._buf)
+        self._buf.extend(items)
+        self.pushed_count += len(self._buf) - before
+
+    def pop(self) -> float:
+        """Dequeue and return the oldest item."""
+        if self._head >= len(self._buf):
+            raise ChannelUnderflow(f"pop from empty channel {self.name!r}")
+        item = self._buf[self._head]
+        self._head += 1
+        self.popped_count += 1
+        if self._head >= _COMPACT_THRESHOLD and self._head * 2 >= len(self._buf):
+            del self._buf[: self._head]
+            self._head = 0
+        return item
+
+    def pop_many(self, count: int) -> List[float]:
+        """Dequeue ``count`` items, oldest first."""
+        if self.occupancy < count:
+            raise ChannelUnderflow(
+                f"pop {count} from channel {self.name!r} holding {self.occupancy}"
+            )
+        head = self._head
+        items = self._buf[head : head + count]
+        self._head = head + count
+        self.popped_count += count
+        if self._head >= _COMPACT_THRESHOLD and self._head * 2 >= len(self._buf):
+            del self._buf[: self._head]
+            self._head = 0
+        return items
+
+    def peek(self, index: int) -> float:
+        """Item ``index`` slots from the front; ``peek(0)`` is next to pop."""
+        pos = self._head + index
+        if index < 0 or pos >= len(self._buf):
+            raise ChannelUnderflow(
+                f"peek({index}) on channel {self.name!r} holding {self.occupancy}"
+            )
+        return self._buf[pos]
+
+    def snapshot(self) -> List[float]:
+        """The live items, oldest first (for inspection/testing)."""
+        return self._buf[self._head :]

@@ -1,0 +1,295 @@
+"""Schedule-driven execution of flattened stream graphs.
+
+The :class:`Interpreter` allocates a :class:`~repro.runtime.channel.Channel`
+per flat edge, binds filter input/output channels, and executes the computed
+initialization schedule followed by steady-state periods.  Splitter and
+joiner nodes are executed natively (one firing = one distribution cycle).
+
+Teleport messaging integrates here: portals reachable from filter attributes
+are bound automatically, message thresholds are computed with the wavefront
+oracle at send time, and deliveries happen exactly at the firing boundaries
+the semantics prescribe.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import MessagingError, StreamItError
+from repro.graph.base import Filter, Stream
+from repro.graph.flatgraph import FILTER, JOINER, SPLITTER, FlatGraph, FlatNode
+from repro.graph.splitjoin import COMBINE, DUPLICATE, NULL, ROUND_ROBIN
+from repro.graph.validation import validate
+from repro.runtime.channel import Channel
+from repro.runtime.messaging import PendingMessage, Portal
+from repro.scheduling.sdep import WavefrontOracle
+from repro.scheduling.steady import ProgramSchedule, build_schedule
+
+
+class Interpreter:
+    """Executes a stream program.
+
+    Args:
+        stream: the top-level (closed) stream to run.
+        check: run full semantic validation before executing.
+
+    Typical use::
+
+        interp = Interpreter(app)
+        interp.run(periods=100)
+        print(sink.collected)
+    """
+
+    def __init__(self, stream: Stream, check: bool = True) -> None:
+        self.stream = stream
+        self.graph: FlatGraph = validate(stream) if check else None  # type: ignore
+        if self.graph is None:
+            from repro.graph.flatgraph import flatten
+
+            self.graph = flatten(stream)
+        self.program: ProgramSchedule = build_schedule(self.graph)
+        self.channels: Dict[object, Channel] = {}
+        self.fired: Dict[FlatNode, int] = {node: 0 for node in self.graph.nodes}
+        self._executors: Dict[FlatNode, Callable[[], None]] = {}
+        self._pending: Dict[FlatNode, List[PendingMessage]] = {}
+        self._oracle: Optional[WavefrontOracle] = None
+        self._current_node: Optional[FlatNode] = None
+        self._initialized = False
+        self._setup()
+
+    # -- setup ---------------------------------------------------------------
+
+    def _setup(self) -> None:
+        for edge in self.graph.edges:
+            self.channels[edge] = Channel(
+                name=f"{edge.src.name}->{edge.dst.name}", initial=edge.initial
+            )
+        for node in self.graph.nodes:
+            if node.kind == FILTER:
+                filt = node.filter
+                filt.input = self.channels[node.in_edges[0]] if node.in_edges else None
+                filt.output = self.channels[node.out_edges[0]] if node.out_edges else None
+            self._executors[node] = self._make_executor(node)
+        self._bind_portals()
+
+    def _bind_portals(self) -> None:
+        seen = set()
+        for node in self.graph.filter_nodes():
+            for value in vars(node.filter).values():
+                if isinstance(value, Portal) and id(value) not in seen:
+                    seen.add(id(value))
+                    value.bind(self)
+
+    def _make_executor(self, node: FlatNode) -> Callable[[], None]:
+        if node.kind == FILTER:
+            return node.filter.work
+        if node.kind == SPLITTER:
+            return self._make_splitter(node)
+        if node.kind == JOINER:
+            return self._make_joiner(node)
+        raise StreamItError(f"unknown node kind {node.kind!r}")
+
+    def _make_splitter(self, node: FlatNode) -> Callable[[], None]:
+        flavor = node.flavor
+        if flavor == NULL:
+            return lambda: None
+        in_chan = self.channels[node.in_edges[0]]
+        outs = [self.channels[e] for e in node.out_edges]
+        if flavor == DUPLICATE:
+            def fire_duplicate() -> None:
+                item = in_chan.pop()
+                for chan in outs:
+                    chan.push(item)
+
+            return fire_duplicate
+        # Weighted round robin: per firing, weights[b] items to branch b.
+        weights = [node.out_rates[e.src_port] for e in node.out_edges]
+
+        def fire_roundrobin() -> None:
+            for chan, w in zip(outs, weights):
+                if w:
+                    chan.push_many(in_chan.pop_many(w))
+
+        return fire_roundrobin
+
+    def _make_joiner(self, node: FlatNode) -> Callable[[], None]:
+        flavor = node.flavor
+        if flavor == NULL:
+            return lambda: None
+        out_chan = self.channels[node.out_edges[0]]
+        ins = [self.channels[e] for e in node.in_edges]
+        if flavor == COMBINE:
+            owner = node.obj
+            reducer = getattr(getattr(owner, "joiner", None), "reducer", None)
+            if reducer is None:
+                reducer = lambda items: items[0]
+
+            def fire_combine() -> None:
+                out_chan.push(reducer([chan.pop() for chan in ins]))
+
+            return fire_combine
+        weights = [node.in_rates[e.dst_port] for e in node.in_edges]
+
+        def fire_roundrobin() -> None:
+            for chan, w in zip(ins, weights):
+                if w:
+                    out_chan.push_many(chan.pop_many(w))
+
+        return fire_roundrobin
+
+    # -- messaging -----------------------------------------------------------
+
+    def post_message(
+        self,
+        receiver: Filter,
+        method: str,
+        args: Tuple[Any, ...],
+        kwargs: Dict[str, Any],
+        latency: Optional[int],
+    ) -> None:
+        """Record a message sent from the currently firing filter."""
+        sender_node = self._current_node
+        if sender_node is None or sender_node.kind != FILTER:
+            raise MessagingError("messages may only be sent from inside work()")
+        sender = sender_node.filter
+        recv_node = self.graph.node_for(receiver)
+        message = PendingMessage(
+            sender=sender,
+            receiver=receiver,
+            method=method,
+            args=args,
+            kwargs=dict(kwargs),
+            latency=latency,
+        )
+        if latency is not None:
+            if self._oracle is None:
+                self._oracle = WavefrontOracle(self.graph)
+            if not sender_node.out_edges or not recv_node.out_edges:
+                raise MessagingError(
+                    "wavefront-timed messages require both endpoints to have "
+                    "output tapes; use best-effort delivery for sinks"
+                )
+            o_a = sender_node.out_edges[0]
+            o_b = recv_node.out_edges[0]
+            s = self.channels[o_a].pushed_count
+            push_a = o_a.push_rate
+            if self._oracle.is_upstream(o_b, o_a):
+                message.direction = "upstream"
+                message.threshold = self._oracle.min_items(
+                    o_b, o_a, s + push_a * latency
+                )
+                # Already past the wavefront: deliver immediately.
+                if self.channels[o_b].pushed_count >= message.threshold:
+                    message.deliver()
+                    return
+            elif self._oracle.is_upstream(o_a, o_b):
+                message.direction = "downstream"
+                message.threshold = self._oracle.max_items(
+                    o_a, o_b, s + push_a * (latency - 1)
+                )
+            else:
+                raise MessagingError(
+                    f"{sender.name} and {receiver.name} run in parallel; "
+                    "parallel message timing is beyond the paper's scope"
+                )
+        self._pending.setdefault(recv_node, []).append(message)
+
+    def _deliver_before(self, node: FlatNode) -> None:
+        """Deliver messages due immediately before a firing of ``node``."""
+        queue = self._pending.get(node)
+        if not queue:
+            return
+        push_b = node.out_edges[0].push_rate if node.out_edges else 0
+        n_ob = self.channels[node.out_edges[0]].pushed_count if node.out_edges else 0
+        remaining: List[PendingMessage] = []
+        for msg in queue:
+            due = msg.threshold is None or (
+                msg.direction == "downstream" and n_ob + push_b > msg.threshold
+            )
+            if due:
+                msg.deliver()
+            else:
+                remaining.append(msg)
+        if remaining:
+            self._pending[node] = remaining
+        else:
+            del self._pending[node]
+
+    def _deliver_after(self, node: FlatNode) -> None:
+        """Deliver messages due immediately after a firing of ``node``."""
+        queue = self._pending.get(node)
+        if not queue:
+            return
+        n_ob = self.channels[node.out_edges[0]].pushed_count if node.out_edges else 0
+        remaining: List[PendingMessage] = []
+        for msg in queue:
+            if msg.direction == "upstream" and msg.threshold is not None and n_ob >= msg.threshold:
+                msg.deliver()
+            else:
+                remaining.append(msg)
+        if remaining:
+            self._pending[node] = remaining
+        else:
+            del self._pending[node]
+
+    # -- execution -----------------------------------------------------------
+
+    def _execute_phases(self, phases: Sequence[Tuple[FlatNode, int]]) -> None:
+        executors = self._executors
+        for node, count in phases:
+            fire = executors[node]
+            self._current_node = node
+            if self._pending:
+                for _ in range(count):
+                    self._deliver_before(node)
+                    fire()
+                    self._deliver_after(node)
+            else:
+                for _ in range(count):
+                    fire()
+                    if self._pending:
+                        self._deliver_after(node)
+            self.fired[node] += count
+            self._current_node = None
+
+    def run_init(self) -> None:
+        """Call filter ``init`` hooks and run the initialization schedule."""
+        if self._initialized:
+            return
+        for node in self.graph.filter_nodes():
+            node.filter.init()
+        self._execute_phases(list(self.program.init))
+        self._initialized = True
+
+    def run_steady(self, periods: int = 1) -> None:
+        """Run ``periods`` steady-state periods (after initialization)."""
+        if not self._initialized:
+            self.run_init()
+        phases = list(self.program.steady)
+        for _ in range(periods):
+            self._execute_phases(phases)
+
+    def run(self, periods: int = 1) -> None:
+        """Initialize then run ``periods`` steady-state periods."""
+        self.run_init()
+        self.run_steady(periods)
+
+    # -- introspection ---------------------------------------------------------
+
+    def items_pushed(self, filt: Filter) -> int:
+        """Total items this filter has pushed (``n`` of its output tape)."""
+        node = self.graph.node_for(filt)
+        if not node.out_edges:
+            return 0
+        return self.channels[node.out_edges[0]].pushed_count
+
+    def firings(self, filt: Filter) -> int:
+        """Number of times this filter's work function has run."""
+        return self.fired[self.graph.node_for(filt)]
+
+
+def run_to_list(stream: Stream, sink, periods: int, check: bool = True) -> List[float]:
+    """Convenience: run ``periods`` steady periods, return sink's items."""
+    interp = Interpreter(stream, check=check)
+    interp.run(periods)
+    return list(sink.collected)

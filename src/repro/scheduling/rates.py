@@ -1,0 +1,76 @@
+"""Steady-state repetitions: the SDF balance equations.
+
+For every channel ``src -> dst`` with per-firing production ``u`` and
+consumption ``o``, a periodic (steady-state) schedule must fire the nodes
+``r_src``/``r_dst`` times with ``r_src * u == r_dst * o``, so that channel
+occupancy is unchanged over a period.  The minimal positive integer solution
+is the *repetitions vector*.
+
+The solver propagates exact rational rates over the edge constraints and
+scales to the least integer solution, raising :class:`SchedulingError` on
+inconsistent rates (a graph with no periodic schedule — e.g. a mis-weighted
+split-join).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd, lcm
+from typing import Dict, List
+
+from repro.errors import SchedulingError
+from repro.graph.flatgraph import FlatGraph, FlatNode
+
+
+def repetitions(graph: FlatGraph) -> Dict[FlatNode, int]:
+    """Compute the minimal steady-state repetitions vector.
+
+    Zero-rate edges impose no constraint.  If the nonzero-rate constraint
+    graph is disconnected, each connected component is normalized
+    independently (components exchange no data, so their relative rates are
+    arbitrary; minimality per component is the canonical choice).
+    """
+    rate: Dict[FlatNode, Fraction] = {}
+    components: List[List[FlatNode]] = []
+
+    for start in graph.nodes:
+        if start in rate:
+            continue
+        rate[start] = Fraction(1)
+        component = [start]
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for edge in node.in_edges + node.out_edges:
+                if edge.push_rate == 0 or edge.pop_rate == 0:
+                    continue
+                if edge.src is node:
+                    other, implied = edge.dst, rate[node] * edge.push_rate / edge.pop_rate
+                else:
+                    other, implied = edge.src, rate[node] * edge.pop_rate / edge.push_rate
+                if other in rate:
+                    if rate[other] != implied:
+                        raise SchedulingError(
+                            f"inconsistent stream rates at {edge.src.name} -> "
+                            f"{edge.dst.name}: no periodic schedule exists "
+                            f"(expected rate {implied}, got {rate[other]})"
+                        )
+                else:
+                    rate[other] = implied
+                    component.append(other)
+                    stack.append(other)
+        components.append(component)
+
+    result: Dict[FlatNode, int] = {}
+    for component in components:
+        denom_lcm = lcm(*(rate[n].denominator for n in component))
+        ints = [int(rate[n] * denom_lcm) for n in component]
+        g = gcd(*ints) if len(ints) > 1 else ints[0]
+        for node, value in zip(component, ints):
+            result[node] = value // g
+    return result
+
+
+def steady_state_items(graph: FlatGraph, reps: Dict[FlatNode, int]) -> Dict[object, int]:
+    """Items flowing over each edge during one steady-state period."""
+    return {edge: reps[edge.src] * edge.push_rate for edge in graph.edges}

@@ -1,0 +1,365 @@
+"""Information wavefronts: the ``max``/``min`` tape transfer functions.
+
+For tapes ``a`` upstream of ``b`` the paper defines:
+
+* ``max[a->b](x)`` — the maximum number of items that can appear on tape
+  ``b`` given that ``x`` items (ever) appear on tape ``a``;
+* ``min[a->b](x)`` — the minimum number of items that must appear on tape
+  ``a`` for ``x`` items to appear on tape ``b``.
+
+These compose over pipelines (Equation "compose" in the paper)::
+
+    max[x->z] = max[y->z] . max[x->y]
+    min[x->z] = min[x->y] . min[y->z]
+
+This module provides both:
+
+1. **Closed forms** — exact formulas for filters (the paper's expressions)
+   and for splitters/joiners, plus composition.  One deliberate deviation:
+   the paper's split/join formulas are written at *item* granularity, but
+   (like the StreamIt compiler's schedulers) we treat a splitter/joiner
+   firing as an atomic *cycle* — a round-robin splitter with weights ``w``
+   consumes ``sum(w)`` items and distributes them in one step.  The closed
+   forms here use cycle granularity so that they agree exactly with the
+   execution model and with the simulation oracle.
+
+2. A **simulation oracle** (:class:`WavefrontOracle`) — computes
+   ``max``/``min`` for *any* pair of tapes in any graph (including the
+   weighted round-robin and feedback cases the paper leaves open) by
+   demand-driven abstract execution over channel occupancies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, floor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SchedulingError
+from repro.graph.flatgraph import FILTER, FlatEdge, FlatGraph, FlatNode
+from repro.graph.splitjoin import DUPLICATE
+
+# ---------------------------------------------------------------------------
+# Closed forms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TransferFunction:
+    """A pair of ``max``/``min`` maps across one graph region.
+
+    ``max_fn(x)``: most items producible downstream given ``x`` upstream.
+    ``min_fn(x)``: fewest items needed upstream for ``x`` downstream.
+    Both are monotone non-decreasing over non-negative integers.
+    """
+
+    max_fn: Callable[[int], int]
+    min_fn: Callable[[int], int]
+
+    def max(self, x: int) -> int:
+        return self.max_fn(x)
+
+    def min(self, x: int) -> int:
+        return self.min_fn(x)
+
+    def then(self, downstream: "TransferFunction") -> "TransferFunction":
+        """Sequential composition: ``self`` feeding into ``downstream``.
+
+        Implements the paper's composition law:
+        ``max = max_down . max_up`` and ``min = min_up . min_down``.
+        """
+        up, down = self, downstream
+        return TransferFunction(
+            max_fn=lambda x: down.max_fn(up.max_fn(x)),
+            min_fn=lambda x: up.min_fn(down.min_fn(x)),
+        )
+
+
+def identity_tf() -> TransferFunction:
+    """The transfer function of a wire (or Identity filter chain)."""
+    return TransferFunction(lambda x: x, lambda x: x)
+
+
+def filter_tf(peek: int, pop: int, push: int) -> TransferFunction:
+    """The paper's closed forms for a single filter.
+
+    ``max(x) = push * floor((x - (peek-pop)) / pop)`` for ``x >= peek-pop``
+    (else 0), and ``min(x) = ceil(x / push) * pop + (peek - pop)``.
+
+    Note the paper's ``min`` formula yields ``peek - pop`` at ``x == 0``;
+    we follow the operational reading (0 items are needed to produce 0
+    items) and return 0 there, which matches the oracle.
+    """
+    if pop <= 0 or push <= 0:
+        raise SchedulingError("filter transfer functions require pop > 0 and push > 0")
+    extra = peek - pop
+
+    def max_fn(x: int) -> int:
+        if x < extra:
+            return 0
+        return push * ((x - extra) // pop)
+
+    def min_fn(x: int) -> int:
+        if x <= 0:
+            return 0
+        return ceil(x / push) * pop + extra
+
+    return TransferFunction(max_fn, min_fn)
+
+
+def splitter_branch_tf(weights: Sequence[int], branch: int, duplicate: bool = False) -> TransferFunction:
+    """Transfer function from a splitter's input to one output branch.
+
+    Cycle granularity: one splitter firing consumes ``sum(weights)`` items
+    (1 for duplicate) and pushes ``weights[branch]`` to the branch (1 for
+    duplicate).
+    """
+    if duplicate:
+        return identity_tf()
+    w = tuple(weights)
+    total = sum(w)
+    wi = w[branch]
+    if wi == 0:
+        return TransferFunction(lambda x: 0, lambda x: 0 if x <= 0 else _INFEASIBLE)
+
+    def max_fn(x: int) -> int:
+        return (x // total) * wi
+
+    def min_fn(x: int) -> int:
+        if x <= 0:
+            return 0
+        return ceil(x / wi) * total
+
+    return TransferFunction(max_fn, min_fn)
+
+
+def joiner_branch_tf(weights: Sequence[int], branch: int, combine: bool = False) -> TransferFunction:
+    """Transfer function from one joiner input branch to the joiner output.
+
+    Cycle granularity: one joiner firing pops ``weights[branch]`` from the
+    branch (1 for combine) and pushes ``sum(weights)`` items (1 for
+    combine).  ``max`` here answers: with ``x`` items on *this* branch and
+    unbounded items on the others, how many items can the joiner output?
+    """
+    if combine:
+        return identity_tf()
+    w = tuple(weights)
+    total = sum(w)
+    wi = w[branch]
+    if wi == 0:
+        return TransferFunction(lambda x: _INFEASIBLE, lambda x: 0)
+
+    def max_fn(x: int) -> int:
+        return (x // wi) * total
+
+    def min_fn(x: int) -> int:
+        if x <= 0:
+            return 0
+        return ceil(x / total) * wi
+
+    return TransferFunction(max_fn, min_fn)
+
+
+#: Sentinel for "no finite number of items suffices" (zero-weight branches).
+_INFEASIBLE = 10**18
+
+
+# ---------------------------------------------------------------------------
+# Simulation oracle
+# ---------------------------------------------------------------------------
+
+
+class WavefrontOracle:
+    """Computes ``max``/``min`` between arbitrary tapes by simulation.
+
+    The oracle runs a demand-driven abstract execution over channel
+    occupancies: to grow tape ``b`` it repeatedly tries to fire ``b``'s
+    producer, recursively pulling items from upstream.  The producer of the
+    seeded tape ``a`` is frozen, so ``a``'s content is exactly the given
+    ``x``; all true sources fire on demand without bound.
+
+    Initial delay items on tapes count toward their item totals, mirroring
+    how :class:`~repro.runtime.channel.Channel` counts ``n(t)``.
+    """
+
+    def __init__(self, graph: FlatGraph, max_firings: int = 10_000_000) -> None:
+        self.graph = graph
+        self.max_firings = max_firings
+        self._reach: Dict[FlatNode, frozenset] = {}
+        self._max_cache: Dict[Tuple[int, int, int], int] = {}
+        self._min_cache: Dict[Tuple[int, int, int], int] = {}
+        self._reps: Optional[Dict[FlatNode, int]] = None
+
+    def _period_items(self, tape: FlatEdge) -> Optional[int]:
+        """Items pushed onto ``tape`` per steady-state period.
+
+        Returns None for graphs with no periodic schedule (rate-imbalanced
+        programs under verification) — callers then skip the periodic
+        reduction and compute directly.
+        """
+        if self._reps is None:
+            from repro.scheduling.rates import repetitions
+
+            try:
+                self._reps = repetitions(self.graph)
+            except SchedulingError:
+                self._reps = {}
+        if not self._reps:
+            return None
+        return self._reps[tape.src] * tape.push_rate
+
+    # -- reachability --------------------------------------------------------
+
+    def downstream_nodes(self, node: FlatNode) -> frozenset:
+        """All nodes reachable from ``node`` along data-flow edges."""
+        cached = self._reach.get(node)
+        if cached is not None:
+            return cached
+        seen = set()
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            for edge in cur.out_edges:
+                if edge.dst not in seen:
+                    seen.add(edge.dst)
+                    stack.append(edge.dst)
+        result = frozenset(seen)
+        self._reach[node] = result
+        return result
+
+    def is_upstream(self, a: FlatEdge, b: FlatEdge) -> bool:
+        """True if tape ``a`` is upstream of tape ``b``."""
+        return a is b or b.src in self.downstream_nodes(a.dst) or b.src is a.dst
+
+    # -- max -----------------------------------------------------------------
+
+    def max_items(self, a: FlatEdge, b: FlatEdge, x: int) -> int:
+        """``max[a->b](x)``: most items ever on ``b`` given ``x`` ever on ``a``.
+
+        ``x`` counts all items on ``a`` including any initial delay items.
+        SDF steady-state periodicity makes the function affine beyond a
+        short transient — ``max(x + k·P_a) = max(x) + k·P_b`` — which the
+        oracle exploits to answer large-``x`` queries (e.g. message
+        thresholds deep into a run) in amortized O(1).
+        """
+        if a is b:
+            return x
+        if not self.is_upstream(a, b):
+            raise SchedulingError(
+                f"max[a->b] undefined: {a!r} is not upstream of {b!r}"
+            )
+        key = (id(a), id(b), x)
+        cached = self._max_cache.get(key)
+        if cached is not None:
+            return cached
+        p_a = self._period_items(a)
+        p_b = self._period_items(b)
+        if p_a is not None and p_b is not None:
+            transient = 8 * p_a + len(a.initial) + 64
+            if x > transient:
+                periods = (x - transient + p_a - 1) // p_a
+                value = self.max_items(a, b, x - periods * p_a) + periods * p_b
+                self._max_cache[key] = value
+                return value
+        value = self._max_items_direct(a, b, x)
+        self._max_cache[key] = value
+        return value
+
+    def _max_items_direct(self, a: FlatEdge, b: FlatEdge, x: int) -> int:
+        occ: Dict[FlatEdge, int] = {e: len(e.initial) for e in self.graph.edges}
+        occ[a] = x
+        produced_on_b = len(b.initial)
+        frozen = a.src
+        budget = [self.max_firings]
+
+        # Fire b's producer as many times as possible.
+        while self._try_fire(b.src, occ, frozen, budget, visiting=set()):
+            produced_on_b += b.push_rate
+        return produced_on_b
+
+    def _try_fire(
+        self,
+        node: FlatNode,
+        occ: Dict[FlatEdge, int],
+        frozen: FlatNode,
+        budget: List[int],
+        visiting: set,
+    ) -> bool:
+        """Attempt to fire ``node`` once, pulling inputs recursively."""
+        if node is frozen or node in visiting:
+            return False
+        if budget[0] <= 0:
+            raise SchedulingError("wavefront oracle exceeded firing budget")
+        visiting.add(node)
+        try:
+            for edge in node.in_edges:
+                needed = edge.peek_rate
+                while occ[edge] < needed:
+                    if not self._try_fire(edge.src, occ, frozen, budget, visiting):
+                        return False
+        finally:
+            visiting.discard(node)
+        budget[0] -= 1
+        for edge in node.in_edges:
+            occ[edge] -= edge.pop_rate
+        for edge in node.out_edges:
+            occ[edge] += edge.push_rate
+        return True
+
+    # -- min -----------------------------------------------------------------
+
+    def min_items(self, a: FlatEdge, b: FlatEdge, x: int) -> int:
+        """``min[a->b](x)``: fewest items on ``a`` so ``x`` can appear on ``b``.
+
+        Computed as the least ``y`` with ``max[a->b](y) >= x`` (both counts
+        include initial delay items), by exponential + binary search over the
+        monotone ``max``.
+        """
+        if a is b:
+            return x
+        if x <= len(b.initial):
+            return 0
+        key = (id(a), id(b), x)
+        cached = self._min_cache.get(key)
+        if cached is not None:
+            return cached
+        p_a = self._period_items(a)
+        p_b = self._period_items(b)
+        if p_a is not None and p_b is not None:
+            transient = 8 * p_b + len(b.initial) + 64
+            if x > transient:
+                periods = (x - transient + p_b - 1) // p_b
+                value = self.min_items(a, b, x - periods * p_b) + periods * p_a
+                self._min_cache[key] = value
+                return value
+        lo, hi = 0, max(1, len(a.initial))
+        while self.max_items(a, b, hi) < x:
+            hi *= 2
+            if hi > 10**12:
+                raise SchedulingError(
+                    f"min[a->b]({x}) infeasible: no amount of items on "
+                    f"{a!r} yields {x} items on {b!r}"
+                )
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.max_items(a, b, mid) >= x:
+                hi = mid
+            else:
+                lo = mid + 1
+        self._min_cache[key] = lo
+        return lo
+
+
+def output_tape(graph: FlatGraph, node: FlatNode) -> FlatEdge:
+    """The (single) output tape of a filter node."""
+    if len(node.out_edges) != 1:
+        raise SchedulingError(f"{node.name} does not have a unique output tape")
+    return node.out_edges[0]
+
+
+def pipeline_tf(stages: Sequence[TransferFunction]) -> TransferFunction:
+    """Compose a sequence of per-stage transfer functions, upstream first."""
+    tf = identity_tf()
+    for stage in stages:
+        tf = tf.then(stage)
+    return tf

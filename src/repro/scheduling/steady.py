@@ -1,0 +1,193 @@
+"""Steady-state and initialization schedule construction.
+
+A :class:`Schedule` is a list of *phases* ``(node, count)``: fire ``node``
+``count`` times.  The steady-state schedule fires each node its repetition
+count in topological order; executed repeatedly after the initialization
+schedule, it keeps every channel's occupancy periodic.
+
+The initialization schedule handles *peeking* filters: a filter with
+``peek > pop`` must see ``peek - pop`` extra buffered items beyond what one
+period's producers supply.  Following the StreamIt scheduler, we compute the
+minimal per-node init firing counts by a backward fixpoint over the edges:
+
+    u_src >= ceil((u_dst * pop(e) + extra(e) - initial(e)) / push(e))
+
+where ``extra(e)`` is the consumer's lookahead on that edge and
+``initial(e)`` the pre-filled delay items (feedback loops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Dict, List, Tuple
+
+from repro.errors import SchedulingError
+from repro.graph.flatgraph import FILTER, FlatEdge, FlatGraph, FlatNode
+from repro.scheduling.rates import repetitions
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An ordered sequence of firing phases."""
+
+    phases: Tuple[Tuple[FlatNode, int], ...]
+
+    @property
+    def total_firings(self) -> int:
+        return sum(count for _, count in self.phases)
+
+    def counts(self) -> Dict[FlatNode, int]:
+        """Total firings per node across all phases."""
+        out: Dict[FlatNode, int] = {}
+        for node, count in self.phases:
+            out[node] = out.get(node, 0) + count
+        return out
+
+    def __iter__(self):
+        return iter(self.phases)
+
+    def __len__(self) -> int:
+        return len(self.phases)
+
+
+@dataclass(frozen=True)
+class ProgramSchedule:
+    """Complete execution plan for a flat graph."""
+
+    graph: FlatGraph
+    reps: Dict[FlatNode, int]
+    init: Schedule
+    steady: Schedule
+    #: Worst-case channel occupancy (in items) reached while running the
+    #: init schedule followed by steady-state periods in schedule order.
+    buffer_bounds: Dict[FlatEdge, int]
+
+
+def _edge_extra(edge: FlatEdge) -> int:
+    """Consumer lookahead (peek - pop) required to remain on this edge."""
+    if edge.dst.kind == FILTER:
+        return edge.dst.peek_extra
+    return 0
+
+
+def init_counts(graph: FlatGraph) -> Dict[FlatNode, int]:
+    """Minimal init firings so every peeking filter's lookahead is primed."""
+    u: Dict[FlatNode, int] = {node: 0 for node in graph.nodes}
+    # Fixpoint iteration: the constraint graph may contain feedback cycles.
+    # Each pass processes nodes in reverse topological order, which resolves
+    # all forward chains in one pass; cycles converge in a few more (or the
+    # loop's delay is insufficient, which verification reports separately).
+    order = list(reversed(graph.topological_order()))
+    limit = len(graph.nodes) + 8
+    for _ in range(limit):
+        changed = False
+        for node in order:
+            for edge in node.out_edges:
+                if edge.push_rate == 0:
+                    continue
+                needed = u[edge.dst] * edge.pop_rate + _edge_extra(edge) - len(edge.initial)
+                required = max(0, ceil(needed / edge.push_rate))
+                if required > u[node]:
+                    u[node] = required
+                    changed = True
+        if not changed:
+            return u
+    raise SchedulingError(
+        "initialization schedule did not converge; a feedback loop's delay "
+        "is too small for the lookahead it encloses"
+    )
+
+
+def _feasible_firings(node: FlatNode, occupancy: Dict[FlatEdge, int]) -> int:
+    """How many consecutive firings the current occupancies allow."""
+    best: int = 10**18
+    for edge in node.in_edges:
+        if edge.pop_rate == 0:
+            continue
+        usable = occupancy[edge] - _edge_extra(edge)
+        best = min(best, max(0, usable // edge.pop_rate))
+    return best
+
+
+def _schedule_targets(
+    graph: FlatGraph,
+    targets: Dict[FlatNode, int],
+    occupancy: Dict[FlatEdge, int],
+    bounds: Dict[FlatEdge, int],
+    what: str,
+) -> List[Tuple[FlatNode, int]]:
+    """Greedily order firings so every node reaches its target count.
+
+    Repeated topological passes fire each node as often as its inputs
+    currently allow; feedback loops thus interleave naturally (a joiner
+    fires, the loop body runs, the returned items enable the next joiner
+    firing).  Raises if no progress is possible — a startup deadlock.
+    """
+    topo = graph.topological_order()
+    remaining = {node: targets.get(node, 0) for node in graph.nodes}
+    phases: List[Tuple[FlatNode, int]] = []
+    while True:
+        pending = [n for n in topo if remaining[n] > 0]
+        if not pending:
+            return phases
+        progress = False
+        for node in pending:
+            count = min(remaining[node], _feasible_firings(node, occupancy))
+            if count <= 0:
+                continue
+            progress = True
+            remaining[node] -= count
+            if phases and phases[-1][0] is node:
+                phases[-1] = (node, phases[-1][1] + count)
+            else:
+                phases.append((node, count))
+            for edge in node.in_edges:
+                occupancy[edge] -= count * edge.pop_rate
+            for edge in node.out_edges:
+                occupancy[edge] += count * edge.push_rate
+                if occupancy[edge] > bounds[edge]:
+                    bounds[edge] = occupancy[edge]
+        if not progress:
+            stuck = ", ".join(f"{n.name}({remaining[n]} left)" for n in pending[:4])
+            raise SchedulingError(
+                f"no valid {what} schedule: nodes cannot fire ({stuck}); a "
+                "feedback loop's delay is too small for the lookahead it "
+                "encloses"
+            )
+
+
+def build_schedule(graph: FlatGraph) -> ProgramSchedule:
+    """Compute repetitions, init and steady schedules, and buffer bounds."""
+    reps = repetitions(graph)
+    u = init_counts(graph)
+
+    occupancy: Dict[FlatEdge, int] = {e: len(e.initial) for e in graph.edges}
+    bounds: Dict[FlatEdge, int] = dict(occupancy)
+    init_phases = _schedule_targets(graph, u, occupancy, bounds, "initialization")
+    steady_phases = _schedule_targets(graph, reps, occupancy, bounds, "steady-state")
+    # Run one more abstract period: the steady schedule must be repeatable
+    # from the post-period state (this also exposes the true buffer peak).
+    check = dict(occupancy)
+    for node, count in steady_phases:
+        for edge in node.in_edges:
+            need = count * edge.pop_rate + _edge_extra(edge)
+            if check[edge] < need and edge.pop_rate > 0:
+                raise SchedulingError(
+                    f"steady schedule not repeatable at {node.name}: needs "
+                    f"{need} items on {edge.src.name}->{edge.dst.name}, has "
+                    f"{check[edge]}"
+                )
+            check[edge] -= count * edge.pop_rate
+        for edge in node.out_edges:
+            check[edge] += count * edge.push_rate
+            if check[edge] > bounds[edge]:
+                bounds[edge] = check[edge]
+
+    return ProgramSchedule(
+        graph=graph,
+        reps=reps,
+        init=Schedule(tuple(init_phases)),
+        steady=Schedule(tuple(steady_phases)),
+        buffer_bounds=bounds,
+    )

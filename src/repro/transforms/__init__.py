@@ -1,0 +1,7 @@
+"""Graph transformations: cloning, fusion, fission."""
+
+from repro.transforms.clone import clone_stream
+from repro.transforms.fission import PhasedReplica, fiss
+from repro.transforms.fusion import FusedFilter
+
+__all__ = ["clone_stream", "FusedFilter", "fiss", "PhasedReplica"]

@@ -1,0 +1,43 @@
+"""Deep-cloning of stream subtrees.
+
+Graph transformations produce *new* streams (each stream instance may
+appear in at most one graph), so untouched subtrees must be cloned when a
+transformation rebuilds their parent.  Cloning deep-copies the subtree with
+its parent link detached and all runtime channel bindings stripped.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import TypeVar
+
+from repro.graph.base import Filter, Stream
+
+S = TypeVar("S", bound=Stream)
+
+
+def clone_stream(stream: S) -> S:
+    """Return an independent deep copy of a stream subtree.
+
+    Portals referenced by filters inside the subtree are copied along with
+    it; portal receiver registrations that point *inside* the subtree stay
+    consistent (deepcopy memoization preserves sharing), while
+    registrations pointing outside the subtree would be duplicated — the
+    optimizers therefore never clone across a portal boundary.
+    """
+    parent = stream.parent
+    stream.parent = None
+    try:
+        cloned = copy.deepcopy(stream)
+    finally:
+        stream.parent = parent
+    # Each clone is a distinct stream instance: give every node a fresh uid
+    # so the clone and the original may coexist in (different) graphs.
+    from repro.graph import base as _base
+
+    for sub in cloned.streams():
+        sub._uid = next(_base._id_counter)
+    for filt in cloned.filters():
+        filt.input = None
+        filt.output = None
+    return cloned

@@ -1,0 +1,119 @@
+"""Executable filter fission: data-parallelizing a stateless filter.
+
+Fission replicates a stateless filter ``k`` ways so the replicas can run on
+different cores:
+
+* **Non-peeking** filters (``peek == pop``) fiss into a round-robin
+  split-join — replica ``i`` executes firings ``i, i+k, i+2k, …`` on
+  disjoint input blocks.
+* **Peeking** filters need overlapping windows, so the splitter becomes a
+  *duplicate* and each replica decimates: replica ``i`` consumes ``k·pop``
+  items per firing, applying the original work to the window starting at
+  offset ``i·pop`` (the paper's duplication cost of fissing peeking
+  filters — the input is sent to every replica).
+
+Fission requires statelessness (checked via
+:func:`repro.linear.extraction.is_stateful`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ValidationError
+from repro.graph.base import Filter
+from repro.graph.composites import SplitJoin
+from repro.graph.splitjoin import duplicate, joiner_roundrobin, roundrobin
+from repro.linear.extraction import is_stateful
+from repro.transforms.clone import clone_stream
+
+
+class _WindowView:
+    """A read window presented to a replica's inner filter as its channel."""
+
+    __slots__ = ("items", "pos")
+
+    def __init__(self) -> None:
+        self.items: List[float] = []
+        self.pos = 0
+
+    def pop(self) -> float:
+        value = self.items[self.pos]
+        self.pos += 1
+        return value
+
+    def peek(self, index: int) -> float:
+        return self.items[self.pos + index]
+
+
+class PhasedReplica(Filter):
+    """Replica ``phase`` of a ``k``-way fission of a peeking filter.
+
+    Receives the full (duplicated) input stream; per firing it consumes
+    ``k·pop`` items and executes the inner work function once on the window
+    at offset ``phase·pop``.
+    """
+
+    def __init__(self, inner: Filter, k: int, phase: int, name: Optional[str] = None) -> None:
+        if inner.parent is not None:
+            raise ValidationError("fission replicas must wrap fresh clones")
+        pop = inner.rate.pop
+        super().__init__(
+            peek=k * pop + inner.rate.extra_peek,
+            pop=k * pop,
+            push=inner.rate.push,
+            name=name or f"{inner.name}.fiss{phase}",
+        )
+        self.inner = inner
+        self.k = k
+        self.phase = phase
+        self._view = _WindowView()
+        inner.input = self._view  # type: ignore[assignment]
+
+    def init(self) -> None:
+        self.inner.init()
+
+    def work(self) -> None:
+        inner = self.inner
+        offset = self.phase * inner.rate.pop
+        view = self._view
+        view.items = [self.peek(offset + i) for i in range(inner.rate.peek)]
+        view.pos = 0
+        inner.output = self.output
+        try:
+            inner.work()
+        finally:
+            inner.output = None
+        for _ in range(self.rate.pop):
+            self.pop()
+
+
+def fiss(filt: Filter, k: int) -> SplitJoin:
+    """Fiss a stateless filter ``k`` ways into an equivalent split-join."""
+    if k < 2:
+        raise ValidationError(f"fission requires k >= 2, got {k}")
+    if filt.rate.pop == 0 or filt.rate.push == 0:
+        raise ValidationError(f"cannot fiss source/sink filter {filt.name}")
+    if is_stateful(filt):
+        raise ValidationError(
+            f"cannot fiss stateful filter {filt.name}: replicas would "
+            "disagree on the mutated state"
+        )
+    pop, push = filt.rate.pop, filt.rate.push
+    if filt.rate.extra_peek == 0:
+        replicas = [clone_stream(filt) for _ in range(k)]
+        for i, rep in enumerate(replicas):
+            rep.name = f"{filt.name}.fiss{i}"
+        return SplitJoin(
+            roundrobin(*([pop] * k)),
+            replicas,
+            joiner_roundrobin(*([push] * k)),
+            name=f"{filt.name}.fissed{k}",
+        )
+    replicas = [PhasedReplica(clone_stream(filt), k, i) for i in range(k)]
+    return SplitJoin(
+        duplicate(),
+        replicas,
+        joiner_roundrobin(*([push] * k)),
+        name=f"{filt.name}.fissed{k}",
+    )

@@ -1,0 +1,84 @@
+"""Executable filter fusion: a pipeline of filters as one filter.
+
+Fusion coarsens granularity: the fused filter runs its children's local
+steady-state schedule internally, turning inter-filter channels into local
+buffers (the paper's motivation for fusing before data-parallelizing —
+communication becomes core-local memory).
+
+Restriction: children *after the first* must not peek beyond their pop
+window.  As the paper notes, fusing a peeking filter introduces shared
+state (the lookahead must persist across invocations), which breaks the
+static-rate contract of a single fused ``work``; the partitioners therefore
+treat such fusions as stateful and refuse to fiss them.  The first child's
+lookahead is preserved: it becomes the fused filter's own ``peek``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import lcm
+from typing import List, Optional, Sequence
+
+from repro.errors import ValidationError
+from repro.graph.base import Filter
+from repro.runtime.channel import Channel
+
+
+class FusedFilter(Filter):
+    """A single filter executing a chain of filters' steady schedule."""
+
+    def __init__(self, children: Sequence[Filter], name: Optional[str] = None) -> None:
+        children = list(children)
+        if not children:
+            raise ValidationError("cannot fuse an empty chain")
+        for child in children[1:]:
+            if child.rate.extra_peek:
+                raise ValidationError(
+                    f"cannot fuse: interior filter {child.name} peeks beyond "
+                    "its pop window (would introduce shared state)"
+                )
+        for child in children:
+            if child.parent is not None:
+                raise ValidationError(
+                    f"filter {child.name} already appears in a graph; fuse clones"
+                )
+        # Local steady-state multiplicities along the chain.
+        rates: List[Fraction] = [Fraction(1)]
+        for up, down in zip(children, children[1:]):
+            if up.rate.push == 0 or down.rate.pop == 0:
+                raise ValidationError(
+                    f"cannot fuse across source/sink boundary {up.name} -> {down.name}"
+                )
+            rates.append(rates[-1] * up.rate.push / down.rate.pop)
+        scale = lcm(*(r.denominator for r in rates))
+        self.multiplicities = [int(r * scale) for r in rates]
+        first, last = children[0], children[-1]
+        pop = self.multiplicities[0] * first.rate.pop
+        push = self.multiplicities[-1] * last.rate.push
+        peek = pop + first.rate.extra_peek
+        super().__init__(peek=peek, pop=pop, push=push, name=name)
+        self.children_filters = children
+        # Internal channels: child i writes channel i, child i+1 reads it.
+        self._internal = [Channel(name=f"fused[{i}]") for i in range(len(children) - 1)]
+        for i, child in enumerate(children):
+            child.input = self._internal[i - 1] if i > 0 else None
+            child.output = self._internal[i] if i < len(self._internal) else None
+
+    def init(self) -> None:
+        for child in self.children_filters:
+            child.init()
+
+    def work(self) -> None:
+        children = self.children_filters
+        first, last = children[0], children[-1]
+        # Stage the external window for the first child: it reads from the
+        # real input channel directly (pops/peeks pass through).
+        first.input = self.input
+        last.output = self.output
+        try:
+            for child, mult in zip(children, self.multiplicities):
+                for _ in range(mult):
+                    child.work()
+        finally:
+            first.input = None
+            last.output = None

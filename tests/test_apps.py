@@ -1,0 +1,170 @@
+"""Integration tests: every application matches its numpy reference."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    ALL_APPS,
+    EVALUATION_SUITE,
+    beamformer,
+    bitonic,
+    channelvocoder,
+    dct,
+    des,
+    dtoa,
+    fft,
+    filterbank,
+    fir,
+    fmradio,
+    freqhop,
+    mpeg2,
+    oversampler,
+    radar,
+    rateconvert,
+    serpent,
+    targetdetect,
+    tde,
+    vocoder,
+)
+from repro.apps.common import signal
+from repro.graph.builtins import CollectSink
+from repro.runtime import Interpreter
+
+#: (module, steady periods to run, input length for the builder)
+CASES = [
+    (fir, 100, 256),
+    (rateconvert, 50, 300),
+    (targetdetect, 60, 256),
+    (oversampler, 20, 128),
+    (dtoa, 40, 128),
+    (fmradio, 40, 256),
+    (filterbank, 30, 256),
+    (channelvocoder, 30, 256),
+    (dct, 4, 256),
+    (fft, 4, 256),
+    (tde, 6, 256),
+    (bitonic, 12, 64),
+    (des, 4, 256),
+    (serpent, 3, 256),
+    (radar, 8, 240),
+    (vocoder, 40, 256),
+    (mpeg2, 4, 288),
+    (beamformer, 12, 240),
+]
+
+
+def run_app(module, periods, input_length):
+    app = module.build(input_length=input_length)
+    sink = next(f for f in app.filters() if isinstance(f, CollectSink))
+    Interpreter(app).run(periods=periods)
+    return np.asarray(sink.collected)
+
+
+@pytest.mark.parametrize("module,periods,input_length", CASES, ids=lambda c: getattr(c, "__name__", c))
+def test_app_matches_reference(module, periods, input_length):
+    got = run_app(module, periods, input_length)
+    x = np.asarray(signal(input_length))
+    tiles = max(2, int(np.ceil((len(got) * 4 + 64) / len(x))))
+    ref = module.reference(np.tile(x, tiles))
+    m = min(len(got), len(ref))
+    assert m > 10, f"{module.__name__} produced too little output"
+    assert np.allclose(got[:m], ref[:m], rtol=1e-6, atol=1e-8), module.__name__
+
+
+class TestSuiteStructure:
+    def test_evaluation_suite_has_twelve(self):
+        assert len(EVALUATION_SUITE) == 12
+
+    def test_all_apps_closed(self):
+        from repro.graph import validate
+
+        for name, builder in ALL_APPS.items():
+            graph = validate(builder())
+            assert graph.sources and graph.sinks, name
+
+    def test_bitonic_sorts(self):
+        got = run_app(bitonic, 8, 64)
+        n = bitonic.DEFAULT_N
+        for b in range(len(got) // n):
+            block = got[b * n : (b + 1) * n]
+            assert list(block) == sorted(block)
+
+    def test_fft_is_invertible(self):
+        """The TDE app's FFT/IFFT pair reconstructs its input."""
+        got = run_app(tde, 4, 256)
+        assert np.all(np.isfinite(got))
+
+    def test_des_output_is_bits(self):
+        got = run_app(des, 2, 256)
+        assert set(np.unique(got)).issubset({0.0, 1.0})
+
+    def test_serpent_output_is_bits(self):
+        got = run_app(serpent, 2, 256)
+        assert set(np.unique(got)).issubset({0.0, 1.0})
+
+    def test_dct_energy_preserved(self):
+        """The orthonormal 2-D DCT preserves block energy (Parseval)."""
+        n = dct.SIZE
+        app = dct.build()
+        sink = next(f for f in app.filters() if isinstance(f, CollectSink))
+        interp = Interpreter(app)
+        interp.run(periods=2)
+        x = np.asarray(signal(256))
+        out = np.asarray(sink.collected)
+        block_out = out[: n * n]
+        block_in = x[: n * n]
+        assert np.isclose(np.sum(block_out**2), np.sum(block_in**2), rtol=1e-6)
+
+
+class TestFreqHop:
+    def test_teleport_radio_retunes(self):
+        app = freqhop.build_teleport()
+        Interpreter(app).run(periods=40)
+        mixer = next(f for f in app.filters() if f.name == "rf2if")
+        assert mixer.hops >= 1
+
+    def test_manual_radio_retunes(self):
+        app = freqhop.build_manual()
+        Interpreter(app).run(periods=40)
+        mixer = next(f for f in app.filters() if "rf2if" in f.name)
+        assert mixer.hops >= 1
+
+    def test_full_demo_radio_runs(self):
+        app = freqhop.build()
+        sink = next(f for f in app.filters() if isinstance(f, CollectSink))
+        Interpreter(app).run(periods=24)
+        assert len(sink.collected) == 24 * freqhop.N
+
+
+class TestLinearityOfApps:
+    def test_fir_app_fully_linear_interior(self):
+        from repro.linear import try_extract
+
+        app = fir.build()
+        interior = [
+            f for f in app.filters() if f.rate.pop > 0 and f.rate.push > 0
+        ]
+        assert all(try_extract(f).linear for f in interior)
+
+    def test_fft_kernel_filters_linear(self):
+        from repro.linear import try_extract
+
+        kernel = fft.fft_kernel(16)
+        assert all(try_extract(f).linear for f in kernel.filters())
+
+    def test_dct_matrix_extracted_exactly(self):
+        from repro.linear import extract_linear
+
+        from repro.apps.common import MatrixFilter
+
+        m = dct.dct_matrix(8)
+        rep = extract_linear(MatrixFilter(m.tolist()))
+        assert np.allclose(rep.A, m)
+
+    def test_equalizer_collapses(self):
+        from repro.linear import collapse_linear
+
+        eq = fmradio.equalizer(16)
+        rep = collapse_linear(eq)
+        assert rep is not None
+        assert rep.pop == 1 and rep.push == 1

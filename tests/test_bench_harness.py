@@ -1,0 +1,49 @@
+"""Tests for the benchmark harness utilities."""
+
+import math
+
+import pytest
+
+from repro.apps import fir
+from repro.bench import (
+    geometric_mean,
+    measure_throughput,
+    normalize_periods,
+    render_bars,
+)
+from repro.linear import apply_combination
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert math.isclose(geometric_mean([1.0, 4.0]), 2.0)
+        assert math.isclose(geometric_mean([3.0]), 3.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_insensitive_to_order(self):
+        values = [0.5, 2.0, 8.0]
+        assert math.isclose(geometric_mean(values), geometric_mean(values[::-1]))
+
+
+class TestThroughput:
+    def test_measures_outputs(self):
+        sample = measure_throughput(fir.build, periods=10, warmup_periods=1)
+        assert sample.outputs == 10
+        assert sample.items_per_second > 0
+        assert sample.seconds > 0
+
+    def test_normalize_periods_accounts_for_blocking(self):
+        opt_builder = lambda: apply_combination(fir.build())[0]
+        periods = normalize_periods(fir.build, opt_builder, 40)
+        # The combined FIR keeps pop=1/push=1, so periods stay equal.
+        assert periods == 40
+
+
+class TestRendering:
+    def test_render_bars_contains_all(self):
+        table = {"AppA": {"task": 1.5, "data": 3.0}, "AppB": {"task": 2.0, "data": 4.0}}
+        text = render_bars(table, ["task", "data"], "title")
+        assert "title" in text and "AppA" in text and "geomean" in text
+        assert "3.00" in text

@@ -1,0 +1,103 @@
+"""Tests for static work estimation and benchmark characteristics."""
+
+import pytest
+
+from repro.estimate import (
+    characterize,
+    characteristics_table,
+    format_table,
+    node_work,
+    steady_state_work,
+    work_per_firing,
+)
+from repro.graph import ArraySource, NullSink, Pipeline, flatten
+from repro.scheduling import repetitions
+from tests.helpers import FIR, Accumulator, Gain, Square
+
+
+class TestWorkEstimation:
+    def test_fir_scales_with_taps(self):
+        small = work_per_firing(FIR([1.0] * 4))
+        large = work_per_firing(FIR([1.0] * 64))
+        assert large > 8 * small
+
+    def test_deterministic(self):
+        assert work_per_firing(Gain(2.0)) == work_per_firing(Gain(3.0))
+
+    def test_cache_respects_rate_signature(self):
+        # Same class, different loop bounds -> different (cached) costs.
+        assert work_per_firing(FIR([1.0] * 8)) != work_per_firing(FIR([1.0] * 32))
+
+    def test_transcendental_costed(self):
+        from repro.apps.vocoder import RectToPolar
+
+        assert work_per_firing(RectToPolar()) > work_per_firing(Gain(1.0))
+
+    def test_positive_for_all_app_filters(self):
+        from repro.apps import ALL_APPS
+
+        for name, builder in ALL_APPS.items():
+            for filt in builder().filters():
+                assert work_per_firing(filt) >= 1.0, (name, filt.name)
+
+    def test_router_work_proportional_to_items(self):
+        from repro.graph import Identity, SplitJoin, duplicate, joiner_roundrobin
+
+        app = Pipeline(
+            ArraySource([1.0]),
+            SplitJoin(duplicate(), [Identity(), Identity()], joiner_roundrobin()),
+            NullSink(),
+        )
+        graph = flatten(app)
+        joiner = next(n for n in graph.nodes if n.kind == "joiner")
+        splitter = next(n for n in graph.nodes if n.kind == "splitter")
+        assert node_work(joiner) == 4  # 2 in + 2 out
+        assert node_work(splitter) == 3  # 1 in + 2 out
+
+    def test_steady_state_work(self):
+        app = Pipeline(ArraySource([1.0]), Gain(1.0), NullSink())
+        graph = flatten(app)
+        reps = repetitions(graph)
+        work = steady_state_work(graph, reps)
+        assert all(v >= 1 for v in work.values())
+
+
+class TestCharacteristics:
+    def test_fir_app_row(self):
+        from repro.apps import fir
+
+        row = characterize("FIR", fir.build())
+        assert row.filters == 3  # source, fir, sink
+        assert row.peeking == 1
+        assert row.stateful == 0
+        assert row.shortest_path == row.longest_path == 3
+
+    def test_stateful_accounting_excludes_io(self):
+        from repro.apps import radar
+
+        row = characterize("Radar", radar.build())
+        assert row.stateful > 0
+        assert 0 < row.stateful_work_pct <= 100
+
+    def test_table_sorted_by_stateful_work(self):
+        from repro.apps import EVALUATION_SUITE
+
+        rows = characteristics_table(
+            {k: EVALUATION_SUITE[k] for k in ("FIR" if False else "DCT", "Radar", "Vocoder")}
+        )
+        pcts = [r.stateful_work_pct for r in rows]
+        assert pcts == sorted(pcts)
+
+    def test_format_table_renders_all_rows(self):
+        from repro.apps import dct, fft
+
+        rows = characteristics_table({"DCT": dct.build, "FFT": fft.build})
+        text = format_table(rows)
+        assert "DCT" in text and "FFT" in text
+        assert "Comp/Comm" in text
+
+    def test_paths_count_filters(self):
+        from repro.apps import des
+
+        row = characterize("DES", des.build())
+        assert row.longest_path > row.shortest_path  # identity-vs-sbox branches

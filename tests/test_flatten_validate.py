@@ -1,0 +1,122 @@
+"""Tests for flattening and whole-graph semantic validation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph import (
+    ArraySource,
+    CollectSink,
+    FILTER,
+    FeedbackLoop,
+    Filter,
+    Identity,
+    JOINER,
+    NullSink,
+    Pipeline,
+    SPLITTER,
+    SplitJoin,
+    duplicate,
+    flatten,
+    joiner_roundrobin,
+    roundrobin,
+    validate,
+)
+from tests.helpers import FIR, Downsample2, Gain
+
+
+def simple_app():
+    return Pipeline(ArraySource([1.0]), Gain(2.0), NullSink())
+
+
+class TestFlatten:
+    def test_filter_chain(self):
+        graph = flatten(simple_app())
+        assert [n.kind for n in graph.nodes] == [FILTER, FILTER, FILTER]
+        assert len(graph.edges) == 2
+        assert len(graph.sources) == 1
+        assert len(graph.sinks) == 1
+
+    def test_splitjoin_nodes(self):
+        app = Pipeline(
+            ArraySource([1.0]),
+            SplitJoin(duplicate(), [Identity(), Identity()], joiner_roundrobin()),
+            NullSink(),
+        )
+        graph = flatten(app)
+        kinds = sorted(n.kind for n in graph.nodes)
+        assert kinds.count(SPLITTER) == 1
+        assert kinds.count(JOINER) == 1
+        splitter = next(n for n in graph.nodes if n.kind == SPLITTER)
+        assert splitter.out_rates == (1, 1)
+        assert splitter.in_rates == (1,)
+
+    def test_feedback_initial_items_on_loop_edge(self):
+        loop = FeedbackLoop(
+            joiner_roundrobin(1, 1), Identity(), roundrobin(1, 1), Identity(), delay=2
+        )
+        graph = flatten(Pipeline(ArraySource([1.0]), loop, NullSink()))
+        delayed = [e for e in graph.edges if e.initial]
+        assert len(delayed) == 1
+        assert len(delayed[0].initial) == 2
+        assert delayed[0].dst.kind == JOINER
+
+    def test_open_stream_rejected(self):
+        with pytest.raises(ValidationError):
+            flatten(Pipeline(Gain(1.0), NullSink()))
+        with pytest.raises(ValidationError):
+            flatten(Pipeline(ArraySource([1.0]), Gain(1.0)))
+
+    def test_edge_rates(self):
+        graph = flatten(Pipeline(ArraySource([1.0]), Downsample2(), NullSink()))
+        first, second = graph.edges
+        assert first.push_rate == 1 and first.pop_rate == 2
+        assert second.push_rate == 1 and second.pop_rate == 1
+
+    def test_peek_rate_on_edge(self):
+        graph = flatten(Pipeline(ArraySource([1.0]), FIR([1.0, 2.0, 3.0]), NullSink()))
+        fir_edge = graph.edges[0]
+        assert fir_edge.peek_rate == 3
+        assert fir_edge.pop_rate == 1
+
+    def test_node_for_lookup(self):
+        gain = Gain(3.0)
+        graph = flatten(Pipeline(ArraySource([1.0]), gain, NullSink()))
+        assert graph.node_for(gain).obj is gain
+
+    def test_topological_order_is_consistent(self):
+        graph = flatten(simple_app())
+        order = graph.topological_order()
+        pos = {n: i for i, n in enumerate(order)}
+        for e in graph.edges:
+            assert pos[e.src] < pos[e.dst]
+
+    def test_to_networkx(self):
+        g = flatten(simple_app()).to_networkx()
+        assert g.number_of_nodes() == 3
+        assert g.number_of_edges() == 2
+
+
+class TestValidate:
+    def test_valid_program_passes(self):
+        assert validate(simple_app()) is not None
+
+    def test_missing_work_rejected(self):
+        class NoWork(Filter):
+            def __init__(self):
+                super().__init__(pop=1, push=1)
+
+        with pytest.raises(ValidationError):
+            validate(Pipeline(ArraySource([1.0]), NoWork(), NullSink()))
+
+    def test_zero_delay_cycle_rejected(self):
+        loop = FeedbackLoop(
+            joiner_roundrobin(1, 1), Identity(), roundrobin(1, 1), Identity(), delay=0
+        )
+        with pytest.raises(ValidationError):
+            validate(Pipeline(ArraySource([1.0]), loop, NullSink()))
+
+    def test_all_apps_validate(self):
+        from repro.apps import ALL_APPS
+
+        for name, builder in ALL_APPS.items():
+            validate(builder())

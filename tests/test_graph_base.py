@@ -1,0 +1,191 @@
+"""Unit tests for the stream-graph IR: rates, hierarchy, builtins."""
+
+import pytest
+
+from repro.errors import RateError, ValidationError
+from repro.graph import (
+    ArraySource,
+    CollectSink,
+    Decimator,
+    Duplicator,
+    Expander,
+    FeedbackLoop,
+    Filter,
+    FunctionFilter,
+    FunctionSource,
+    Identity,
+    NullSink,
+    Pipeline,
+    Rate,
+    SplitJoin,
+    duplicate,
+    joiner_roundrobin,
+    null_joiner,
+    null_splitter,
+    roundrobin,
+)
+from tests.helpers import FIR, Gain, run_pipeline
+
+
+class TestRate:
+    def test_defaults_peek_to_pop(self):
+        f = Gain(2.0)
+        assert f.rate.peek == f.rate.pop == 1
+
+    def test_peek_below_pop_is_raised_to_pop(self):
+        class F(Filter):
+            def __init__(self):
+                super().__init__(peek=1, pop=3, push=1)
+
+            def work(self):
+                pass
+
+        assert F().rate.peek == 3
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(RateError):
+            Rate(peek=1, pop=-1, push=0)
+
+    def test_non_integer_rates_rejected(self):
+        with pytest.raises(RateError):
+            Rate(peek=1.5, pop=1, push=1)  # type: ignore[arg-type]
+
+    def test_extra_peek(self):
+        assert Rate(peek=5, pop=2, push=1).extra_peek == 3
+
+    def test_source_sink_flags(self):
+        assert ArraySource([1.0]).is_source
+        assert not ArraySource([1.0]).is_sink
+        assert NullSink().is_sink
+        assert not NullSink().is_source
+
+
+class TestHierarchy:
+    def test_pipeline_children_in_order(self):
+        a, b, c = Identity(), Identity(), Identity()
+        pipe = Pipeline(a, b, c)
+        assert pipe.children() == (a, b, c)
+        assert len(pipe) == 3
+        assert pipe[1] is b
+
+    def test_streams_preorder(self):
+        inner = Pipeline(Identity(), Identity())
+        outer = Pipeline(Identity(), inner)
+        names = [type(s).__name__ for s in outer.streams()]
+        assert names == ["Pipeline", "Identity", "Pipeline", "Identity", "Identity"]
+
+    def test_filters_yields_leaves_only(self):
+        pipe = Pipeline(Identity(), Pipeline(Identity()))
+        assert all(isinstance(f, Filter) for f in pipe.filters())
+        assert sum(1 for _ in pipe.filters()) == 2
+
+    def test_depth(self):
+        assert Identity().depth() == 1
+        assert Pipeline(Identity()).depth() == 2
+        assert Pipeline(Pipeline(Identity())).depth() == 3
+
+    def test_instance_reuse_rejected(self):
+        shared = Identity()
+        Pipeline(shared)
+        with pytest.raises(ValidationError):
+            Pipeline(shared)
+
+    def test_splitjoin_weight_arity_checked(self):
+        with pytest.raises(ValidationError):
+            SplitJoin(roundrobin(1, 1, 1), [Identity(), Identity()], joiner_roundrobin())
+
+    def test_splitjoin_requires_branch(self):
+        with pytest.raises(ValidationError):
+            SplitJoin(duplicate(), [], joiner_roundrobin())
+
+    def test_feedback_rejects_null_spec(self):
+        with pytest.raises(ValidationError):
+            FeedbackLoop(null_joiner(), Identity(), roundrobin(1, 1), Identity(), delay=1)
+
+    def test_feedback_rejects_negative_delay(self):
+        with pytest.raises(ValidationError):
+            FeedbackLoop(
+                joiner_roundrobin(1, 1), Identity(), roundrobin(1, 1), Identity(), delay=-1
+            )
+
+    def test_feedback_initial_values(self):
+        loop = FeedbackLoop(
+            joiner_roundrobin(1, 1),
+            Identity(),
+            roundrobin(1, 1),
+            Identity(),
+            delay=3,
+            init_path=lambda i: float(i * 10),
+        )
+        assert loop.initial_values() == [0.0, 10.0, 20.0]
+
+
+class TestBuiltins:
+    def test_identity_passthrough(self):
+        assert run_pipeline(Identity(), data=[1.0, 2.0], periods=4) == [1.0, 2.0, 1.0, 2.0]
+
+    def test_array_source_cycles(self):
+        assert run_pipeline(data=[5.0, 6.0], periods=5) == [5.0, 6.0, 5.0, 6.0, 5.0]
+
+    def test_array_source_requires_data(self):
+        with pytest.raises(ValidationError):
+            ArraySource([])
+
+    def test_function_source(self):
+        out = run_pipeline(Gain(1.0), data=[0.0], periods=0)
+        src = FunctionSource(lambda i: float(i * i))
+        sink = CollectSink()
+        from repro.runtime import Interpreter
+
+        Interpreter(Pipeline(src, sink)).run(periods=4)
+        assert sink.collected == [0.0, 1.0, 4.0, 9.0]
+
+    def test_decimator(self):
+        out = run_pipeline(Decimator(3), data=[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], periods=2)
+        assert out == [1.0, 4.0]
+
+    def test_decimator_offset(self):
+        out = run_pipeline(Decimator(3, offset=1), data=[1.0, 2.0, 3.0], periods=2)
+        assert out == [2.0, 2.0]
+
+    def test_decimator_validates(self):
+        with pytest.raises(ValidationError):
+            Decimator(0)
+        with pytest.raises(ValidationError):
+            Decimator(2, offset=2)
+
+    def test_expander_zero_stuffs(self):
+        out = run_pipeline(Expander(3), data=[7.0], periods=2)
+        assert out == [7.0, 0.0, 0.0, 7.0, 0.0, 0.0]
+
+    def test_duplicator(self):
+        out = run_pipeline(Duplicator(2), data=[1.0, 2.0], periods=2)
+        assert out == [1.0, 1.0, 2.0, 2.0]
+
+    def test_function_filter_window(self):
+        f = FunctionFilter(lambda w: [sum(w)], pop=1, push=1, peek=2)
+        out = run_pipeline(f, data=[1.0, 2.0, 3.0], periods=3)
+        assert out == [3.0, 5.0, 4.0]
+
+    def test_function_filter_arity_checked(self):
+        f = FunctionFilter(lambda w: [1.0, 2.0], pop=1, push=1)
+        with pytest.raises(ValidationError):
+            run_pipeline(f, data=[1.0], periods=1)
+
+
+class TestSpecs:
+    def test_splitter_kinds(self):
+        assert duplicate().resolved_weights(3) == (1, 1, 1)
+        assert roundrobin(2, 3).resolved_weights(2) == (2, 3)
+        assert roundrobin().resolved_weights(4) == (1, 1, 1, 1)
+        assert null_splitter().resolved_weights(2) == (0, 0)
+
+    def test_roundrobin_rejects_bad_weights(self):
+        with pytest.raises(RateError):
+            roundrobin(-1, 2)
+        with pytest.raises(RateError):
+            roundrobin(0, 0)
+
+    def test_joiner_pop_push_per_cycle(self):
+        assert joiner_roundrobin(2, 3).push_per_cycle(2) == 5
+        assert duplicate().pop_per_cycle(5) == 1

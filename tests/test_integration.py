@@ -1,0 +1,72 @@
+"""Whole-toolchain integration sweep: every app through every stage.
+
+For each application: validate -> schedule -> verify -> characterize ->
+model -> map -> simulate, asserting the cross-stage invariants that tie
+the subsystems together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import ALL_APPS, EVALUATION_SUITE
+from repro.estimate import characterize, steady_state_work
+from repro.graph import validate
+from repro.machine import ModelGraph, RawMachine, single_core_baseline
+from repro.mapping import STRATEGIES
+from repro.scheduling import build_schedule, repetitions, verify_program
+
+APPS = sorted(ALL_APPS)
+
+
+@pytest.mark.parametrize("name", APPS)
+def test_toolchain_consistency(name):
+    builder = ALL_APPS[name]
+
+    # Validation and scheduling agree on one graph.
+    graph = validate(builder())
+    program = build_schedule(graph)
+    reps = repetitions(graph)
+    assert program.reps == reps
+
+    # Steady-state work totals are consistent between the estimator and
+    # the machine model built from the same stream.
+    work = steady_state_work(graph, reps)
+    model = ModelGraph.from_flatgraph(graph, reps)
+    assert np.isclose(sum(work.values()), model.total_work())
+
+    # The single-core baseline equals total non-I/O work.
+    baseline = single_core_baseline(model)
+    non_io = sum(a.work for a in model.compute_actors())
+    assert np.isclose(baseline.cycles_per_period, max(non_io, 1.0))
+
+    # Characteristics agree with the model's stateful classification.
+    row = characterize(name, builder())
+    stateful_actors = [
+        a for a in model.compute_actors() if a.stateful and not a.router
+    ]
+    assert row.stateful == len(stateful_actors)
+
+
+@pytest.mark.parametrize("name", sorted(EVALUATION_SUITE))
+def test_mapping_sanity(name):
+    """Every strategy yields a legal mapping whose utilization is sane."""
+    machine = RawMachine()
+    for strategy in ("task", "data", "combined"):
+        result = STRATEGIES[strategy](EVALUATION_SUITE[name](), machine)
+        assert 0.0 < result.sim.utilization <= 1.0, (name, strategy)
+        assert result.speedup <= machine.n_cores * 1.05, (name, strategy)
+        # Every compute actor landed on a real core.
+        for actor in result.model.compute_actors():
+            assert 0 <= result.assignment[actor] < machine.n_cores
+
+
+@pytest.mark.parametrize("name", APPS)
+def test_verification_clean(name):
+    report = verify_program(ALL_APPS[name]())
+    assert report.ok, f"{name}: {report.detail}"
+
+
+def test_suite_totals():
+    """The repository ships the paper's full complement of applications."""
+    assert len(EVALUATION_SUITE) == 12
+    assert len(ALL_APPS) >= 19

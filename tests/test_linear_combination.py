@@ -1,0 +1,183 @@
+"""Tests for linear combination: pipeline and split-join collapse."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StreamItError, ValidationError
+from repro.graph.splitjoin import combine as combine_joiner
+from repro.graph.splitjoin import duplicate, joiner_roundrobin, roundrobin
+from repro.linear import (
+    LinearRep,
+    combine_pipeline,
+    combine_pipeline_all,
+    combine_splitjoin,
+    fir_rep,
+)
+
+rng = np.random.default_rng(20260706)
+
+
+def rand_rep(peek, pop, push):
+    return LinearRep(rng.normal(size=(push, peek)), rng.normal(size=push), pop=pop)
+
+
+def reference_pipeline(up, down, x):
+    return down.apply_stream(up.apply_stream(x))
+
+
+def rr_split(x, weights):
+    total = sum(weights)
+    outs = [[] for _ in weights]
+    for start in range(0, (len(x) // total) * total, total):
+        pos = start
+        for i, w in enumerate(weights):
+            outs[i].extend(x[pos : pos + w])
+            pos += w
+    return [np.asarray(o) for o in outs]
+
+
+def rr_join(streams, weights):
+    out = []
+    cycle = 0
+    while all((cycle + 1) * w <= len(s) for s, w in zip(streams, weights)):
+        for s, w in zip(streams, weights):
+            out.extend(s[cycle * w : (cycle + 1) * w])
+        cycle += 1
+    return np.asarray(out)
+
+
+class TestPipelineCombination:
+    def test_fir_cascade_is_convolution(self):
+        up = fir_rep([1.0, 2.0])
+        down = fir_rep([3.0, 4.0])
+        comb = combine_pipeline(up, down)
+        # Correlation-form cascade of [1,2] then [3,4].
+        assert comb.peek == 3 and comb.pop == 1 and comb.push == 1
+        x = rng.normal(size=50)
+        assert np.allclose(comb.apply_stream(x)[:40], reference_pipeline(up, down, x)[:40])
+
+    def test_rate_matching(self):
+        comb = combine_pipeline(rand_rep(1, 1, 4), rand_rep(3, 3, 2))
+        assert comb.pop == 3 and comb.push == 8
+
+    def test_gain_absorbed(self):
+        up = LinearRep(np.array([[2.0]]), np.array([1.0]), pop=1)
+        down = LinearRep(np.array([[3.0]]), np.array([-1.0]), pop=1)
+        comb = combine_pipeline(up, down)
+        assert np.allclose(comb.A, [[6.0]])
+        assert np.allclose(comb.b, [2.0])  # 3*(2x+1) - 1 = 6x + 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        peek_e=st.integers(min_value=0, max_value=3),
+        pop1=st.integers(min_value=1, max_value=3),
+        push1=st.integers(min_value=1, max_value=3),
+        peek_e2=st.integers(min_value=0, max_value=3),
+        pop2=st.integers(min_value=1, max_value=3),
+        push2=st.integers(min_value=1, max_value=3),
+    )
+    def test_combination_preserves_semantics(self, peek_e, pop1, push1, peek_e2, pop2, push2):
+        """Property: the combined rep computes the same output stream as
+        the two-stage pipeline, for arbitrary rate pairs."""
+        up = rand_rep(pop1 + peek_e, pop1, push1)
+        down = rand_rep(pop2 + peek_e2, pop2, push2)
+        comb = combine_pipeline(up, down)
+        x = rng.normal(size=120)
+        ref = reference_pipeline(up, down, x)
+        got = comb.apply_stream(x)
+        m = min(len(ref), len(got))
+        assert m > 0
+        assert np.allclose(ref[:m], got[:m], atol=1e-8)
+
+    def test_fold_many(self):
+        reps = [fir_rep([1.0, 1.0]) for _ in range(4)]
+        comb = combine_pipeline_all(reps)
+        assert comb.peek == 5  # binomial window
+        assert np.allclose(comb.A, [[1.0, 4.0, 6.0, 4.0, 1.0]])
+
+    def test_empty_fold_rejected(self):
+        with pytest.raises(StreamItError):
+            combine_pipeline_all([])
+
+
+class TestSplitJoinCombination:
+    def test_duplicate_interleave(self):
+        a, b = fir_rep([1.0]), fir_rep([2.0])
+        comb = combine_splitjoin([a, b], duplicate(), joiner_roundrobin(1, 1))
+        assert comb.pop == 1 and comb.push == 2
+        x = np.arange(10, dtype=float)
+        got = comb.apply_stream(x)
+        assert np.allclose(got[: 6], [0, 0, 1, 2, 2, 4])
+
+    def test_roundrobin_split(self):
+        a = rand_rep(2, 2, 1)
+        b = rand_rep(1, 1, 2)
+        comb = combine_splitjoin([a, b], roundrobin(2, 1), joiner_roundrobin(1, 2))
+        x = rng.normal(size=90)
+        branches = rr_split(x, (2, 1))
+        ref = rr_join([a.apply_stream(branches[0]), b.apply_stream(branches[1])], (1, 2))
+        got = comb.apply_stream(x)
+        m = min(len(ref), len(got))
+        assert m > 5 and np.allclose(ref[:m], got[:m])
+
+    def test_unbalanced_rejected(self):
+        a = rand_rep(1, 1, 1)
+        b = rand_rep(1, 1, 2)  # produces twice as much from the same input
+        with pytest.raises((StreamItError, ValidationError)):
+            combine_splitjoin([a, b], duplicate(), joiner_roundrobin(1, 1))
+
+    def test_combine_joiner_unsupported(self):
+        with pytest.raises(StreamItError):
+            combine_splitjoin([fir_rep([1.0])], duplicate(), combine_joiner())
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=4),
+        taps=st.integers(min_value=1, max_value=4),
+    )
+    def test_duplicate_fir_bank_property(self, n, taps):
+        """A duplicate bank of FIRs equals per-branch application joined RR."""
+        reps = [fir_rep(rng.normal(size=taps)) for _ in range(n)]
+        comb = combine_splitjoin(reps, duplicate(), joiner_roundrobin(*([1] * n)))
+        x = rng.normal(size=40)
+        outs = [r.apply_stream(x) for r in reps]
+        ref = rr_join(outs, [1] * n)
+        got = comb.apply_stream(x)
+        m = min(len(ref), len(got))
+        assert m > 0 and np.allclose(ref[:m], got[:m])
+
+
+class TestLinearRepAlgebra:
+    def test_expand_semantics(self):
+        rep = rand_rep(3, 2, 2)
+        expanded = rep.expand(3)
+        assert expanded.pop == 6 and expanded.push == 6 and expanded.peek == 7
+        x = rng.normal(size=31)
+        assert np.allclose(rep.apply_stream(x)[:18], expanded.apply_stream(x)[:18])
+
+    def test_expand_one_is_identity(self):
+        rep = rand_rep(2, 1, 1)
+        assert rep.expand(1) is rep
+
+    def test_equivalent(self):
+        rep = rand_rep(2, 1, 1)
+        assert rep.equivalent(LinearRep(rep.A.copy(), rep.b.copy(), pop=1))
+        assert not rep.equivalent(rand_rep(2, 1, 1))
+
+    def test_shape_validation(self):
+        with pytest.raises(StreamItError):
+            LinearRep(np.zeros((2, 2)), np.zeros(3), pop=1)
+        with pytest.raises(StreamItError):
+            LinearRep(np.zeros((1, 1)), np.zeros(1), pop=2)  # pop > peek
+        with pytest.raises(StreamItError):
+            LinearRep(np.zeros((1, 2)), np.zeros(1), pop=0)
+
+    def test_nnz(self):
+        rep = fir_rep([1.0, 0.0, 2.0])
+        assert rep.nnz() == 2
+
+    def test_apply_window_shape_checked(self):
+        rep = fir_rep([1.0, 2.0])
+        with pytest.raises(StreamItError):
+            rep.apply([1.0])

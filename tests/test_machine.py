@@ -1,0 +1,190 @@
+"""Tests for the machine model and throughput simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MachineError
+from repro.machine import (
+    ModelActor,
+    ModelEdge,
+    ModelGraph,
+    RawMachine,
+    dag_makespan,
+    pipelined_ii,
+    single_core_baseline,
+)
+
+
+def chain(works, words=1.0):
+    actors = [ModelActor(f"a{i}", w) for i, w in enumerate(works)]
+    edges = [
+        ModelEdge(actors[i], actors[i + 1], words) for i in range(len(actors) - 1)
+    ]
+    return ModelGraph(actors, edges), actors
+
+
+class TestRawMachine:
+    def test_grid_topology(self):
+        m = RawMachine()
+        assert m.side == 4
+        assert m.coords(0) == (0, 0)
+        assert m.coords(5) == (1, 1)
+        assert m.coords(15) == (3, 3)
+
+    def test_xy_routing_hops(self):
+        m = RawMachine()
+        assert m.hops(0, 0) == 0
+        assert m.hops(0, 3) == 3
+        assert m.hops(0, 15) == 6
+        assert len(m.route(0, 15)) == 6
+        assert m.route(7, 7) == []
+
+    def test_route_is_dimension_ordered(self):
+        m = RawMachine()
+        route = m.route(0, 5)  # (0,0) -> (1,1): +x then +y
+        assert route[0][1] == 0  # first step +x
+        assert route[1][1] == 2  # then +y
+
+    def test_peak_mflops(self):
+        assert RawMachine().peak_mflops == 7200.0
+
+
+class TestModelGraph:
+    def test_from_stream(self):
+        from repro.apps import fir
+
+        model = ModelGraph.from_stream(fir.build())
+        names = [a.name for a in model.actors]
+        assert any("fir" in n for n in names)
+        io = [a for a in model.actors if a.io]
+        assert len(io) == 2  # source + sink
+
+    def test_contract_internalizes_traffic(self):
+        model, (a, b, c) = chain([10, 20, 30])
+        fused = model.contract(a, b)
+        assert fused.work == 30
+        assert len(model.actors) == 2
+        assert all(not (e.src is fused and e.dst is fused) for e in model.edges)
+
+    def test_contract_peeking_boundary_is_stateful(self):
+        a = ModelActor("a", 5)
+        b = ModelActor("b", 5, peeking=True)
+        model = ModelGraph([a, b], [ModelEdge(a, b, 1)])
+        fused = model.contract(a, b)
+        assert fused.stateful
+
+    def test_fiss_splits_work(self):
+        model, (a, b, c) = chain([10, 160, 10])
+        replicas = model.fiss(b, 4)
+        assert len(replicas) == 4
+        assert all(r.work == 40 for r in replicas)
+        assert any("scatter" in x.name for x in model.actors)
+        assert any("gather" in x.name for x in model.actors)
+
+    def test_fiss_peeking_duplicates_input(self):
+        a = ModelActor("a", 1)
+        b = ModelActor("b", 100, peeking=True)
+        c = ModelActor("c", 1)
+        model = ModelGraph([a, b, c], [ModelEdge(a, b, 8), ModelEdge(b, c, 8)])
+        model.fiss(b, 4)
+        replica_in = [e for e in model.edges if "#" in e.dst.name]
+        assert all(e.words == 8 for e in replica_in)  # full duplication
+
+    def test_fiss_stateful_rejected(self):
+        a = ModelActor("a", 10, stateful=True)
+        model = ModelGraph([a], [])
+        with pytest.raises(MachineError):
+            model.fiss(a, 2)
+
+    def test_topological_detects_cycles(self):
+        a, b = ModelActor("a", 1), ModelActor("b", 1)
+        model = ModelGraph([a, b], [ModelEdge(a, b, 1), ModelEdge(b, a, 1)])
+        with pytest.raises(MachineError):
+            model.topological()
+        # With a delayed back edge it is fine.
+        model2 = ModelGraph(
+            [a, b], [ModelEdge(a, b, 1), ModelEdge(b, a, 1, delayed=True)]
+        )
+        assert len(model2.topological()) == 2
+
+
+class TestSimulator:
+    def test_single_core_baseline_is_total_work(self):
+        model, _ = chain([10, 20, 30])
+        base = single_core_baseline(model)
+        assert base.cycles_per_period == 60
+
+    def test_dag_serial_on_one_core(self):
+        model, actors = chain([10, 20, 30])
+        result = dag_makespan(model, {a: 0 for a in actors})
+        assert result.cycles_per_period == 60  # no comm when co-located
+
+    def test_dag_parallel_chains_overlap_nothing(self):
+        # A chain spread over cores cannot beat its critical path.
+        model, actors = chain([100, 100, 100], words=1.0)
+        spread = dag_makespan(model, {a: i for i, a in enumerate(actors)})
+        assert spread.cycles_per_period >= 300
+
+    def test_pipelined_chain_parallelizes(self):
+        model, actors = chain([100, 100, 100], words=1.0)
+        spread = pipelined_ii(model, {a: i for i, a in enumerate(actors)})
+        serial = pipelined_ii(model, {a: 0 for a in actors})
+        assert spread.cycles_per_period < serial.cycles_per_period
+        assert spread.cycles_per_period >= 100  # bounded by the widest stage
+
+    def test_missing_assignment_rejected(self):
+        model, actors = chain([1, 1])
+        with pytest.raises(MachineError):
+            dag_makespan(model, {actors[0]: 0})
+        with pytest.raises(MachineError):
+            pipelined_ii(model, {actors[0]: 0, actors[1]: 99})
+
+    def test_utilization_bounded(self):
+        model, actors = chain([50, 50])
+        result = pipelined_ii(model, {actors[0]: 0, actors[1]: 1})
+        assert 0 < result.utilization <= 1
+
+    def test_recurrence_bound_serializes_loops(self):
+        # a -> b -> a(delayed): II is bounded by the loop latency even if
+        # both actors sit on different cores.
+        a, b = ModelActor("a", 40), ModelActor("b", 40)
+        model = ModelGraph(
+            [a, b], [ModelEdge(a, b, 1), ModelEdge(b, a, 1, delayed=True)]
+        )
+        result = pipelined_ii(model, {a: 0, b: 1})
+        assert result.cycles_per_period >= 80  # both works on the cycle
+
+    def test_no_recurrence_without_loops(self):
+        model, actors = chain([40, 40])
+        result = pipelined_ii(model, {a: i for i, a in enumerate(actors)})
+        assert result.cycles_per_period < 80
+
+    def test_link_contention_bounds_ii(self):
+        # Many heavy flows over the same link raise II above core loads.
+        hub_src = [ModelActor(f"s{i}", 1) for i in range(4)]
+        hub_dst = [ModelActor(f"d{i}", 1) for i in range(4)]
+        edges = [ModelEdge(s, d, 100) for s, d in zip(hub_src, hub_dst)]
+        model = ModelGraph(hub_src + hub_dst, edges)
+        # All flows cross from core 0 to core 3 along the same x-links.
+        assignment = {a: 0 for a in hub_src}
+        assignment.update({a: 3 for a in hub_dst})
+        result = pipelined_ii(model, assignment)
+        assert result.cycles_per_period >= 400  # 4 flows x 100 words on a link
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        works=st.lists(st.floats(min_value=1, max_value=100), min_size=2, max_size=6)
+    )
+    def test_pipelined_ii_at_least_max_stage(self, works):
+        model, actors = chain(works, words=0.0)
+        result = pipelined_ii(model, {a: i % 16 for i, a in enumerate(actors)})
+        assert result.cycles_per_period >= max(works) - 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        works=st.lists(st.floats(min_value=1, max_value=100), min_size=2, max_size=6)
+    )
+    def test_dag_at_least_critical_path(self, works):
+        model, actors = chain(works, words=0.0)
+        result = dag_makespan(model, {a: i % 16 for i, a in enumerate(actors)})
+        assert result.cycles_per_period >= sum(works) - 1e-6

@@ -1,0 +1,170 @@
+"""Tests for partitioning and the six mapping strategies."""
+
+import pytest
+
+from repro.machine import ModelActor, ModelEdge, ModelGraph, RawMachine
+from repro.mapping import (
+    STRATEGIES,
+    coarsen_stateless,
+    evaluate_all,
+    judicious_fission,
+    lpt_assign,
+    selective_fusion,
+)
+
+
+def star_model(center_work=100.0, leaf_work=10.0, leaves=4):
+    center = ModelActor("center", center_work)
+    leafs = [ModelActor(f"leaf{i}", leaf_work) for i in range(leaves)]
+    edges = [ModelEdge(center, l, 1.0) for l in leafs]
+    return ModelGraph([center] + leafs, edges)
+
+
+class TestLPT:
+    def test_balances_loads(self):
+        model = ModelGraph([ModelActor(f"a{i}", 10.0) for i in range(8)], [])
+        assignment = lpt_assign(model, 4)
+        loads = [0.0] * 4
+        for actor, core in assignment.items():
+            loads[core] += actor.work
+        assert max(loads) == min(loads) == 20.0
+
+    def test_heaviest_first(self):
+        big = ModelActor("big", 100.0)
+        smalls = [ModelActor(f"s{i}", 1.0) for i in range(4)]
+        model = ModelGraph([big] + smalls, [])
+        assignment = lpt_assign(model, 2)
+        big_core = assignment[big]
+        assert all(assignment[s] != big_core for s in smalls)
+
+    def test_io_actors_not_assigned(self):
+        io = ModelActor("io", 0.0, io=True)
+        a = ModelActor("a", 5.0)
+        model = ModelGraph([io, a], [ModelEdge(io, a, 1.0)])
+        assignment = lpt_assign(model, 2)
+        assert io not in assignment and a in assignment
+
+
+class TestSelectiveFusion:
+    def test_reaches_target(self):
+        model, _ = _chain_model(10)
+        fused = selective_fusion(model, 4)
+        assert len(fused.compute_actors()) <= 4
+
+    def test_fuses_lightest_pairs_first(self):
+        actors = [ModelActor(f"a{i}", w) for i, w in enumerate([100, 1, 1, 100])]
+        edges = [ModelEdge(actors[i], actors[i + 1], 1.0) for i in range(3)]
+        model = ModelGraph(actors, edges)
+        fused = selective_fusion(model, 3)
+        names = sorted(a.name for a in fused.actors)
+        assert any("a1+a2" in n or "a2+a1" in n for n in names)
+
+    def test_does_not_mutate_input(self):
+        model, _ = _chain_model(6)
+        before = len(model.actors)
+        selective_fusion(model, 2)
+        assert len(model.actors) == before
+
+    def test_protect_replicas(self):
+        r0 = ModelActor("x#0", 5.0)
+        r1 = ModelActor("x#1", 5.0)
+        model = ModelGraph([r0, r1], [ModelEdge(r0, r1, 1.0)])
+        fused = selective_fusion(model, 1, protect_replicas=True)
+        assert len(fused.compute_actors()) == 2
+
+    def test_never_creates_cycle(self):
+        # splitter -> (idA, heavy) -> joiner: fusing splitter+joiner around
+        # the unfused branch would create a cycle; fusion must avoid it.
+        s = ModelActor("s", 1.0)
+        a = ModelActor("a", 1.0)
+        b = ModelActor("b", 100.0, stateful=True)
+        j = ModelActor("j", 1.0)
+        model = ModelGraph(
+            [s, a, b, j],
+            [
+                ModelEdge(s, a, 1.0),
+                ModelEdge(s, b, 1.0),
+                ModelEdge(a, j, 1.0),
+                ModelEdge(b, j, 1.0),
+            ],
+        )
+        fused = selective_fusion(model, 2)
+        fused.topological()  # raises if a cycle was created
+
+
+def _chain_model(n):
+    actors = [ModelActor(f"a{i}", 10.0) for i in range(n)]
+    edges = [ModelEdge(actors[i], actors[i + 1], 1.0) for i in range(n - 1)]
+    return ModelGraph(actors, edges), actors
+
+
+class TestCoarsenAndFiss:
+    def test_coarsen_merges_stateless_chain(self):
+        model, _ = _chain_model(5)
+        coarse = coarsen_stateless(model)
+        assert len(coarse.compute_actors()) == 1
+
+    def test_coarsen_stops_at_stateful(self):
+        actors = [ModelActor("a", 10.0), ModelActor("b", 10.0, stateful=True), ModelActor("c", 10.0)]
+        edges = [ModelEdge(actors[0], actors[1], 1.0), ModelEdge(actors[1], actors[2], 1.0)]
+        coarse = coarsen_stateless(ModelGraph(actors, edges))
+        assert len(coarse.compute_actors()) == 3
+
+    def test_coarsen_stops_at_peeking(self):
+        actors = [ModelActor("a", 10.0), ModelActor("b", 10.0, peeking=True)]
+        coarse = coarsen_stateless(
+            ModelGraph(actors, [ModelEdge(actors[0], actors[1], 1.0)])
+        )
+        assert len(coarse.compute_actors()) == 2
+
+    def test_fission_targets_bottleneck(self):
+        big = ModelActor("big", 1600.0)
+        small = ModelActor("small", 10.0)
+        model = ModelGraph([big, small], [ModelEdge(big, small, 1.0)])
+        fissed = judicious_fission(model, 16)
+        replicas = [a for a in fissed.actors if "#" in a.name]
+        assert len(replicas) == 16
+        assert all("big" in r.name for r in replicas)
+
+    def test_fission_skips_balanced_actors(self):
+        model, _ = _chain_model(16)  # 16 equal actors: no bottleneck
+        fissed = judicious_fission(model, 16)
+        assert not any("#" in a.name for a in fissed.actors)
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("name", list(STRATEGIES))
+    def test_each_strategy_runs(self, name):
+        from repro.apps import fmradio
+
+        result = STRATEGIES[name](fmradio.build(), RawMachine())
+        assert result.speedup > 0
+        assert result.sim.cycles_per_period >= 1
+        for actor, core in result.assignment.items():
+            assert 0 <= core < 16
+
+    def test_speedup_cannot_exceed_core_count_much(self):
+        from repro.apps import dct
+
+        for name in ("task", "data", "softpipe", "combined", "space"):
+            result = STRATEGIES[name](dct.build(), RawMachine())
+            assert result.speedup <= 16.5, name
+
+    def test_combined_beats_task_on_stateless_app(self):
+        from repro.apps import des
+
+        task = STRATEGIES["task"](des.build(), RawMachine())
+        combined = STRATEGIES["combined"](des.build(), RawMachine())
+        assert combined.speedup > 3 * task.speedup
+
+    def test_evaluate_all_subset(self):
+        from repro.apps import fft
+
+        results = evaluate_all(fft.build, strategies=["task", "data"])
+        assert set(results) == {"task", "data"}
+
+    def test_dct_bottleneck_fissed(self):
+        from repro.apps import dct
+
+        result = STRATEGIES["data"](dct.build(), RawMachine())
+        assert any("#" in a.name for a in result.model.actors)

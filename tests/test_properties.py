@@ -1,0 +1,190 @@
+"""Cross-cutting property-based tests on the core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (
+    ArraySource,
+    CollectSink,
+    Decimator,
+    Expander,
+    Identity,
+    Pipeline,
+    SplitJoin,
+    duplicate,
+    flatten,
+    joiner_roundrobin,
+    roundrobin,
+)
+from repro.linear import LinearRep, combine_pipeline, extract_linear, fir_rep
+from repro.runtime import Channel, Interpreter
+from repro.scheduling import build_schedule, repetitions
+from tests.helpers import FIR, run_pipeline
+
+rng = np.random.default_rng(7)
+
+finite_floats = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+class TestChannelProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(items=st.lists(finite_floats, max_size=60))
+    def test_fifo_order_preserved(self, items):
+        ch = Channel()
+        for v in items:
+            ch.push(v)
+        assert [ch.pop() for _ in items] == items
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(st.just("push"), st.just("pop")), min_size=1, max_size=200
+        )
+    )
+    def test_counters_invariant(self, ops):
+        """pushed - popped == occupancy, always."""
+        ch = Channel()
+        for op in ops:
+            if op == "push":
+                ch.push(1.0)
+            elif ch.occupancy:
+                ch.pop()
+        assert ch.pushed_count - ch.popped_count == ch.occupancy
+        assert ch.occupancy >= 0
+
+
+class TestSchedulingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        up=st.integers(min_value=1, max_value=6),
+        down=st.integers(min_value=1, max_value=6),
+    )
+    def test_rate_conversion_volume(self, up, down):
+        """A steady period of up(u)/down(d) moves exactly lcm-scaled items."""
+        from math import lcm
+
+        from repro.graph import NullSink
+
+        graph = flatten(
+            Pipeline(ArraySource([1.0]), Expander(up), Decimator(down), NullSink())
+        )
+        reps = repetitions(graph)
+        expander = next(n for n in graph.nodes if "Expander" in n.name)
+        decimator = next(n for n in graph.nodes if "Decimator" in n.name)
+        assert reps[expander] * up == reps[decimator] * down == lcm(up, down)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        branches=st.integers(min_value=2, max_value=5),
+        periods=st.integers(min_value=1, max_value=4),
+    )
+    def test_duplicate_fanout_volume(self, branches, periods):
+        """A duplicate split-join of identities emits n copies per input."""
+        sj = SplitJoin(
+            duplicate(),
+            [Identity() for _ in range(branches)],
+            joiner_roundrobin(),
+        )
+        out = run_pipeline(sj, data=[1.0, 2.0], periods=periods * 2)
+        assert len(out) == periods * 2 * branches
+
+    @settings(max_examples=25, deadline=None)
+    @given(taps=st.integers(min_value=2, max_value=12))
+    def test_peek_priming_exact(self, taps):
+        """Init schedule supplies exactly taps-1 extra source firings."""
+        from repro.graph import NullSink
+
+        graph = flatten(Pipeline(ArraySource([1.0]), FIR([1.0] * taps), NullSink()))
+        prog = build_schedule(graph)
+        assert prog.init.total_firings == taps - 1
+
+
+class TestLinearAlgebraProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        taps1=st.integers(min_value=1, max_value=5),
+        taps2=st.integers(min_value=1, max_value=5),
+        taps3=st.integers(min_value=1, max_value=5),
+    )
+    def test_combination_associative(self, taps1, taps2, taps3):
+        """(f;g);h == f;(g;h) for FIR cascades."""
+        f = fir_rep(rng.normal(size=taps1))
+        g = fir_rep(rng.normal(size=taps2))
+        h = fir_rep(rng.normal(size=taps3))
+        left = combine_pipeline(combine_pipeline(f, g), h)
+        right = combine_pipeline(f, combine_pipeline(g, h))
+        assert left.equivalent(right)
+
+    @settings(max_examples=30, deadline=None)
+    @given(taps=st.integers(min_value=1, max_value=6))
+    def test_identity_is_neutral(self, taps):
+        f = fir_rep(rng.normal(size=taps))
+        ident = fir_rep([1.0])
+        assert combine_pipeline(f, ident).equivalent(f)
+        assert combine_pipeline(ident, f).equivalent(f)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        k1=st.integers(min_value=1, max_value=4),
+        k2=st.integers(min_value=1, max_value=4),
+    )
+    def test_expansion_composes(self, k1, k2):
+        """expand(k1).expand(k2) == expand(k1*k2)."""
+        rep = LinearRep(rng.normal(size=(2, 3)), rng.normal(size=2), pop=2)
+        assert rep.expand(k1).expand(k2).equivalent(rep.expand(k1 * k2))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        gains=st.lists(
+            st.floats(min_value=-4, max_value=4, allow_nan=False),
+            min_size=2,
+            max_size=5,
+        )
+    )
+    def test_gain_chain_multiplies(self, gains):
+        """Extracted chained gains combine to the product gain."""
+        reps = [fir_rep([g]) for g in gains]
+        combined = reps[0]
+        for rep in reps[1:]:
+            combined = combine_pipeline(combined, rep)
+        assert np.isclose(combined.A[0, 0], float(np.prod(gains)))
+
+
+class TestEndToEndProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        taps=st.lists(
+            st.floats(min_value=-2, max_value=2, allow_nan=False),
+            min_size=1,
+            max_size=8,
+        ),
+        periods=st.integers(min_value=4, max_value=24),
+    )
+    def test_optimization_equivalence(self, taps, periods):
+        """apply_combination never changes a program's output stream."""
+        from repro.linear import apply_combination
+        from tests.helpers import run_stream
+
+        data = [1.0, -1.0, 2.0, 0.5]
+
+        def build():
+            return Pipeline(ArraySource(data), FIR(taps), CollectSink())
+
+        base = run_stream(build(), periods)
+        opt, _ = apply_combination(build())
+        got = run_stream(opt, periods)
+        assert np.allclose(base, got[: len(base)])
+
+    @settings(max_examples=10, deadline=None)
+    @given(k=st.integers(min_value=2, max_value=4), taps=st.integers(min_value=2, max_value=5))
+    def test_fission_equivalence(self, k, taps):
+        """Fission never changes a program's output stream."""
+        from repro.transforms import fiss
+
+        data = [1.0, -1.0, 2.0, 0.5, 3.0, -2.0]
+        coeffs = list(rng.normal(size=taps))
+        base = run_pipeline(FIR(coeffs), data=data, periods=4 * k)
+        got = run_pipeline(fiss(FIR(coeffs), k), data=data, periods=4)
+        m = min(len(base), len(got))
+        assert m > 0 and np.allclose(base[:m], got[:m])

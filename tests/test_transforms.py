@@ -1,0 +1,150 @@
+"""Tests for graph transformations: clone, fusion, fission."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.graph import ArraySource, CollectSink, Identity, Pipeline, validate
+from repro.transforms import FusedFilter, PhasedReplica, clone_stream, fiss
+from tests.helpers import (
+    FIR,
+    Accumulator,
+    Butterfly2,
+    Downsample2,
+    Gain,
+    Square,
+    Upsample3,
+    run_pipeline,
+)
+
+DATA = [1.0, -2.0, 3.0, 0.5, -1.5, 2.0]
+
+
+class TestClone:
+    def test_clone_has_fresh_uids(self):
+        original = Pipeline(Gain(1.0), Gain(2.0))
+        cloned = clone_stream(original)
+        original_uids = {s.uid for s in original.streams()}
+        cloned_uids = {s.uid for s in cloned.streams()}
+        assert original_uids.isdisjoint(cloned_uids)
+
+    def test_clone_detaches_parent_and_channels(self):
+        inner = Gain(3.0)
+        Pipeline(inner)  # attaches a parent
+        cloned = clone_stream(inner)
+        assert cloned.parent is None
+        assert cloned.input is None and cloned.output is None
+
+    def test_clone_and_original_coexist(self):
+        gain = Gain(5.0)
+        cloned = clone_stream(gain)
+        app = Pipeline(ArraySource(DATA), gain, CollectSink())
+        app2 = Pipeline(ArraySource(DATA), cloned, CollectSink())
+        validate(app)
+        validate(app2)
+
+    def test_clone_preserves_state_values(self):
+        f = FIR([1.0, 2.0])
+        assert clone_stream(f).coeffs == (1.0, 2.0)
+
+
+class TestFusion:
+    def test_fused_equals_pipeline(self):
+        base = run_pipeline(FIR([0.5, 0.5]), Downsample2(), data=DATA, periods=40)
+        fused = FusedFilter([FIR([0.5, 0.5]), Downsample2()])
+        got = run_pipeline(fused, data=DATA, periods=40)
+        m = min(len(base), len(got))
+        assert m > 20 and np.allclose(base[:m], got[:m])
+
+    def test_fused_rates(self):
+        fused = FusedFilter([Upsample3(), Downsample2()])
+        # up fires 2, down fires 3 per fused firing: pop 2, push 3.
+        assert fused.rate.pop == 2 and fused.rate.push == 3
+        assert fused.multiplicities == [2, 3]
+
+    def test_first_child_peek_preserved(self):
+        fused = FusedFilter([FIR([1.0] * 4), Gain(1.0)])
+        assert fused.rate.peek == fused.rate.pop + 3
+
+    def test_interior_peeking_rejected(self):
+        with pytest.raises(ValidationError):
+            FusedFilter([Gain(1.0), FIR([1.0, 2.0])])
+
+    def test_attached_children_rejected(self):
+        g = Gain(1.0)
+        Pipeline(g)
+        with pytest.raises(ValidationError):
+            FusedFilter([g, Gain(2.0)])
+
+    def test_fusing_across_sink_rejected(self):
+        from repro.graph import NullSink
+
+        with pytest.raises(ValidationError):
+            FusedFilter([NullSink(), Gain(1.0)])
+
+    def test_stateful_children_supported(self):
+        base = run_pipeline(Accumulator(), Gain(2.0), data=DATA, periods=12)
+        fused = FusedFilter([Accumulator(), Gain(2.0)])
+        got = run_pipeline(fused, data=DATA, periods=12)
+        assert np.allclose(base, got)
+
+    @settings(max_examples=20, deadline=None)
+    @given(periods=st.integers(min_value=1, max_value=12))
+    def test_multirate_fusion_property(self, periods):
+        base = run_pipeline(Butterfly2(), Downsample2(), data=DATA, periods=periods)
+        fused = FusedFilter([Butterfly2(), Downsample2()])
+        got = run_pipeline(fused, data=DATA, periods=periods)
+        assert np.allclose(base, got)
+
+
+class TestFission:
+    def test_roundrobin_fission(self):
+        base = run_pipeline(Downsample2(), data=DATA, periods=24)
+        got = run_pipeline(fiss(Downsample2(), 3), data=DATA, periods=8)
+        m = min(len(base), len(got))
+        assert m > 10 and np.allclose(base[:m], got[:m])
+
+    def test_peeking_fission_duplicates(self):
+        base = run_pipeline(FIR([0.25, 0.5, 0.25]), data=DATA, periods=48)
+        sj = fiss(FIR([0.25, 0.5, 0.25]), 4)
+        got = run_pipeline(sj, data=DATA, periods=12)
+        m = min(len(base), len(got))
+        assert m > 20 and np.allclose(base[:m], got[:m])
+        assert sj.splitter.kind == "duplicate"
+        assert all(isinstance(c, PhasedReplica) for c in sj.children())
+
+    def test_nonpeeking_uses_roundrobin(self):
+        sj = fiss(Butterfly2(), 2)
+        assert sj.splitter.kind == "roundrobin"
+
+    def test_stateful_rejected(self):
+        with pytest.raises(ValidationError):
+            fiss(Accumulator(), 2)
+
+    def test_source_rejected(self):
+        with pytest.raises(ValidationError):
+            fiss(ArraySource([1.0]), 2)
+
+    def test_k_below_two_rejected(self):
+        with pytest.raises(ValidationError):
+            fiss(Gain(1.0), 1)
+
+    def test_nonlinear_stateless_fissable(self):
+        base = run_pipeline(Square(), data=DATA, periods=24)
+        got = run_pipeline(fiss(Square(), 4), data=DATA, periods=6)
+        m = min(len(base), len(got))
+        assert np.allclose(base[:m], got[:m])
+
+    @settings(max_examples=15, deadline=None)
+    @given(k=st.integers(min_value=2, max_value=5))
+    def test_fission_width_property(self, k):
+        """Fission preserves the stream for any replica count."""
+        base = run_pipeline(Butterfly2(), data=DATA, periods=2 * k * 3)
+        got = run_pipeline(fiss(Butterfly2(), k), data=DATA, periods=6)
+        m = min(len(base), len(got))
+        assert m > 4 and np.allclose(base[:m], got[:m])
+
+    def test_fissed_graph_validates(self):
+        app = Pipeline(ArraySource(DATA), fiss(FIR([1.0, 2.0]), 3), CollectSink())
+        validate(app)

@@ -1,0 +1,143 @@
+"""Tests for deadlock/overflow detection (the paper's verification section)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import BufferOverflowError, DeadlockError
+from repro.graph import (
+    ArraySource,
+    CollectSink,
+    Duplicator,
+    FeedbackLoop,
+    Identity,
+    NullSink,
+    Pipeline,
+    SplitJoin,
+    duplicate,
+    flatten,
+    joiner_roundrobin,
+    roundrobin,
+)
+from repro.scheduling import (
+    DEADLOCK,
+    OK,
+    OVERFLOW,
+    analyze_feedback_loop,
+    splitjoin_drift,
+    steady_gain,
+    verify_program,
+)
+from tests.helpers import Downsample2, Gain, Upsample3
+
+
+def loop_app(join_w, split_w, delay, loopback=None):
+    loop = FeedbackLoop(
+        joiner_roundrobin(*join_w),
+        Identity(),
+        roundrobin(*split_w),
+        loopback or Identity(),
+        delay=delay,
+    )
+    return Pipeline(ArraySource([1.0]), loop, CollectSink()), loop
+
+
+class TestSteadyGain:
+    def test_filter_gain(self):
+        assert steady_gain(Gain(2.0)) == 1
+        assert steady_gain(Upsample3()) == 3
+        assert steady_gain(Downsample2()) == Fraction(1, 2)
+
+    def test_pipeline_gain_multiplies(self):
+        assert steady_gain(Pipeline(Upsample3(), Downsample2())) == Fraction(3, 2)
+
+    def test_balanced_splitjoin(self):
+        sj = SplitJoin(duplicate(), [Identity(), Gain(2.0)], joiner_roundrobin())
+        assert steady_gain(sj) == 2
+
+    def test_unbalanced_splitjoin_detected(self):
+        sj = SplitJoin(duplicate(), [Identity(), Duplicator(2)], joiner_roundrobin())
+        with pytest.raises(BufferOverflowError):
+            steady_gain(sj)
+
+    def test_starving_loop_detected(self):
+        loop = FeedbackLoop(
+            joiner_roundrobin(1, 2), Identity(), roundrobin(2, 1), Identity(), delay=4
+        )
+        with pytest.raises(DeadlockError):
+            steady_gain(loop)
+
+    def test_overflowing_loop_detected(self):
+        loop = FeedbackLoop(
+            joiner_roundrobin(2, 1), Identity(), roundrobin(1, 2), Identity(), delay=4
+        )
+        with pytest.raises(BufferOverflowError):
+            steady_gain(loop)
+
+    def test_healthy_loop_gain(self):
+        loop = FeedbackLoop(
+            joiner_roundrobin(1, 1), Identity(), roundrobin(1, 1), Identity(), delay=2
+        )
+        assert steady_gain(loop) == 1
+
+
+class TestMaxloopAnalysis:
+    def test_healthy_loop_verdict(self):
+        app, loop = loop_app((1, 1), (1, 1), delay=2)
+        verdict = analyze_feedback_loop(flatten(app), loop)
+        assert verdict.verdict == OK
+
+    def test_starving_loop_verdict(self):
+        app, loop = loop_app((1, 2), (2, 1), delay=4)
+        verdict = analyze_feedback_loop(flatten(app), loop)
+        assert verdict.verdict == DEADLOCK
+
+    def test_overflow_loop_verdict(self):
+        app, loop = loop_app((2, 1), (1, 2), delay=4)
+        verdict = analyze_feedback_loop(flatten(app), loop)
+        assert verdict.verdict == OVERFLOW
+
+
+class TestSplitjoinDrift:
+    def test_balanced_drift_constant(self):
+        sj = SplitJoin(duplicate(), [Identity(), Gain(2.0)], joiner_roundrobin())
+        app = Pipeline(ArraySource([1.0]), sj, NullSink())
+        graph = flatten(app)
+        drifts = [splitjoin_drift(graph, sj, x) for x in (16, 32, 64)]
+        assert drifts[0] == drifts[1] == drifts[2]
+
+
+class TestVerifyProgram:
+    def test_all_apps_pass(self):
+        from repro.apps import ALL_APPS
+
+        for name, builder in ALL_APPS.items():
+            report = verify_program(builder())
+            assert report.ok, f"{name}: {report.detail}"
+
+    def test_zero_delay_loop_fails_startup(self):
+        app, _ = loop_app((1, 1), (1, 1), delay=0)
+        report = verify_program(app)
+        assert not report.ok
+        assert "deadlock" in report.detail.lower() or "cycle" in report.detail.lower()
+
+    def test_rate_imbalance_reported(self):
+        sj = SplitJoin(duplicate(), [Identity(), Duplicator(2)], joiner_roundrobin())
+        report = verify_program(Pipeline(ArraySource([1.0]), sj, NullSink()))
+        assert not report.ok
+        assert "unbalanced" in report.detail or "overflow" in report.detail.lower()
+
+    def test_insufficient_delay_for_peeking_body(self):
+        """A rate-balanced loop whose delay cannot prime internal lookahead."""
+        from tests.helpers import FIR
+
+        loop = FeedbackLoop(
+            joiner_roundrobin(1, 1),
+            FIR([1.0, 1.0, 1.0, 1.0, 1.0, 1.0]),  # needs 5 lookahead, 1:1 rates
+            roundrobin(1, 1),
+            Identity(),
+            delay=1,
+        )
+        app = Pipeline(ArraySource([1.0]), loop, CollectSink())
+        report = verify_program(app)
+        assert not report.ok
