@@ -1,0 +1,98 @@
+"""E10 — batched execution engine: interpreter throughput, scalar vs batched.
+
+Measures end-to-end items/second for four representative applications under
+both execution engines and writes the results to ``BENCH_interp.json`` at
+the repository root.  The batched engine's bar: at least 10x on the
+linear-suite style apps (FIR/Oversampler class) and at least 2x geometric
+mean across the benchmarked set.
+
+Run standalone (also used by CI with ``--smoke`` for a quick correctness
+pass at tiny period counts)::
+
+    PYTHONPATH=src python benchmarks/bench_e10_interp_throughput.py [--smoke]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.apps import LINEAR_SUITE, filterbank, fir, fmradio, oversampler
+from repro.bench import geometric_mean, measure_throughput
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_interp.json"
+
+#: (name, builder, periods) — periods sized so each measurement is ~0.1-1 s.
+APPS = (
+    ("FIR", fir.build, 4000),
+    ("FilterBank", filterbank.build, 400),
+    ("Oversampler", oversampler.build, 300),
+    ("FMRadio", fmradio.build, 2000),
+)
+
+_cache = {}
+
+
+def run_bench(periods_scale: float = 1.0):
+    """Measure both engines on each app; returns the serializable table."""
+    if _cache:
+        return _cache
+    for name, build, periods in APPS:
+        periods = max(1, int(periods * periods_scale))
+        scalar = measure_throughput(build, periods, label=f"{name}/scalar", engine="scalar")
+        batched = measure_throughput(build, periods, label=f"{name}/batched", engine="batched")
+        _cache[name] = {
+            "periods": periods,
+            "outputs": scalar.outputs,
+            "scalar_items_per_sec": scalar.items_per_second,
+            "batched_items_per_sec": batched.items_per_second,
+            "speedup": batched.items_per_second / scalar.items_per_second,
+        }
+    _cache["geomean_speedup"] = geometric_mean(
+        [row["speedup"] for row in _cache.values()]
+    )
+    return _cache
+
+
+def render(table) -> str:
+    lines = [
+        "== E10: interpreter throughput — scalar vs batched engine ==",
+        f"{'Benchmark':14s}{'scalar it/s':>14s}{'batched it/s':>14s}{'speedup':>10s}",
+    ]
+    for name, row in table.items():
+        if name == "geomean_speedup":
+            continue
+        lines.append(
+            f"{name:14s}{row['scalar_items_per_sec']:14.0f}"
+            f"{row['batched_items_per_sec']:14.0f}{row['speedup']:9.1f}x"
+        )
+    lines.append(f"{'geomean':14s}{'':14s}{'':14s}{table['geomean_speedup']:9.1f}x")
+    return "\n".join(lines)
+
+
+def write_results(table) -> None:
+    RESULT_PATH.write_text(json.dumps(table, indent=2) + "\n")
+
+
+def _check(table) -> None:
+    speedups = {n: r["speedup"] for n, r in table.items() if n != "geomean_speedup"}
+    linear_10x = [n for n in speedups if n in LINEAR_SUITE and speedups[n] >= 10.0]
+    assert len(linear_10x) >= 2, f"need >=10x on 2 linear-suite apps, got {speedups}"
+    assert table["geomean_speedup"] >= 2.0, f"geomean {table['geomean_speedup']:.2f} < 2"
+
+
+def test_e10_batched_engine_speedup(report):
+    table = run_bench()
+    report(render(table))
+    write_results(table)
+    _check(table)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    table = run_bench(periods_scale=0.02 if smoke else 1.0)
+    print(render(table))
+    if not smoke:
+        write_results(table)
+        _check(table)
+        print(f"\nwrote {RESULT_PATH}")

@@ -77,6 +77,34 @@ def test_e7_linear_optimization_speedups(benchmark, report):
     assert table["FIR"]["autosel"] >= 0.8 * table["FIR"]["freq"]
 
 
+def test_e7c_batched_engine_composes_with_linear_opt(benchmark, report):
+    """The batched engine stacks on top of linear optimization: the
+    automatically-selected build (LinearFilter / FrequencyFilter bodies)
+    gets its own work_batch kernels, so engine and optimization multiply."""
+
+    def compute():
+        rows = {}
+        for name, build, periods in APPS[:3]:  # keep the wall clock modest
+            opt_builder = lambda b=build: apply_selection(b())[0]
+            opt_periods = normalize_periods(build, opt_builder, periods)
+            scalar = measure_throughput(opt_builder, opt_periods, label=f"{name}/autosel")
+            batched = measure_throughput(
+                opt_builder, opt_periods, label=f"{name}/autosel+batched", engine="batched"
+            )
+            rows[name] = batched.items_per_second / scalar.items_per_second
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["== E7c: batched engine over the autosel-optimized builds =="]
+    for name, speedup in rows.items():
+        lines.append(f"{name:14s}{speedup:10.1f}x")
+    lines.append(f"{'geomean':14s}{geometric_mean(list(rows.values())):10.1f}x")
+    report("\n".join(lines))
+
+    # Batching the optimized graph must still be a clear win.
+    assert geometric_mean(list(rows.values())) >= 2.0
+
+
 def test_e7_flops_accounting(benchmark, report):
     """The cost model's side of the figure: FLOPs per input item."""
     from repro.linear import collapse_linear, compare

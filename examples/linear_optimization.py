@@ -42,11 +42,16 @@ def main() -> None:
         f"{'frequency' if cost.freq_wins else 'direct'} wins"
     )
 
-    # Wall-clock measurements of each optimization level.
+    # Wall-clock measurements of each optimization level, under both the
+    # scalar reference interpreter and the batched execution engine.
     periods = 30
     base = measure_throughput(oversampler.build, periods)
-    print(f"\n{'variant':12s} {'items/s':>12s} {'speedup':>8s}")
-    print(f"{'baseline':12s} {base.items_per_second:12.0f} {'1.00':>8s}")
+    print(f"\n{'variant':12s} {'items/s':>12s} {'speedup':>8s} {'batched it/s':>13s}")
+    base_batched = measure_throughput(oversampler.build, periods, engine="batched")
+    print(
+        f"{'baseline':12s} {base.items_per_second:12.0f} {'1.00':>8s} "
+        f"{base_batched.items_per_second:13.0f}"
+    )
     for label, transform in (
         ("combine", apply_combination),
         ("frequency", apply_frequency),
@@ -55,9 +60,11 @@ def main() -> None:
         builder = lambda t=transform: t(oversampler.build())[0]
         opt_periods = normalize_periods(oversampler.build, builder, periods)
         sample = measure_throughput(builder, opt_periods)
+        batched = measure_throughput(builder, opt_periods, engine="batched")
         print(
             f"{label:12s} {sample.items_per_second:12.0f} "
-            f"{sample.items_per_second / base.items_per_second:8.2f}"
+            f"{sample.items_per_second / base.items_per_second:8.2f} "
+            f"{batched.items_per_second:13.0f}"
         )
 
 

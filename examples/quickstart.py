@@ -44,12 +44,14 @@ def main() -> None:
     optimized, report = apply_selection(app)
     print("optimizer decisions:", report.replacements or ["(kept everything)"])
 
-    # 4. Execute both versions and compare.
-    Interpreter(app).run(periods=100)
+    # 4. Execute both versions and compare.  engine="batched" compiles the
+    #    schedule into block kernels over numpy ring buffers — same outputs,
+    #    orders of magnitude faster than firing work() per item.
+    Interpreter(app, engine="batched").run(periods=100)
     baseline = np.array(sink.collected)
 
     opt_sink = next(f for f in optimized.filters() if isinstance(f, CollectSink))
-    Interpreter(optimized).run(periods=100)
+    Interpreter(optimized, engine="batched").run(periods=100)
     out = np.array(opt_sink.collected)
 
     m = min(len(baseline), len(out))

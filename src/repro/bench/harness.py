@@ -84,11 +84,12 @@ def measure_throughput(
     periods: int,
     label: str = "",
     warmup_periods: int = 2,
+    engine: str = "scalar",
 ) -> ThroughputSample:
     """Wall-clock items/second of a closed stream over ``periods`` periods."""
     app = builder()
     sink = next(f for f in app.filters() if isinstance(f, CollectSink))
-    interp = Interpreter(app, check=False)
+    interp = Interpreter(app, check=False, engine=engine)
     interp.run(periods=warmup_periods)
     produced_before = len(sink.collected)
     start = time.perf_counter()

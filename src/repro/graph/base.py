@@ -167,9 +167,29 @@ class Filter(Stream):
 
     # -- work function -----------------------------------------------------
 
+    #: True on subclasses whose :meth:`work_batch` executes many firings at
+    #: once.  The batched engine falls back to per-firing ``work()`` (still
+    #: over array channels) when this is False — the safe default for
+    #: stateful or unanalyzable filters.
+    supports_work_batch = False
+
     def work(self) -> None:
         """One execution step.  Subclasses must override."""
         raise NotImplementedError(f"{type(self).__name__} must implement work()")
+
+    def work_batch(self, n: int) -> None:
+        """Execute ``n`` consecutive firings as one block operation.
+
+        Implementations must be observationally identical to ``n`` calls of
+        :meth:`work` — same items consumed and produced, and the same
+        floating-point operation order *within each firing* — and should use
+        the channels' block API (``peek_block``/``pop_block``/``push_block``/
+        ``drop``) so no per-item Python work remains.  Only called by the
+        batched engine when :attr:`supports_work_batch` is True.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement work_batch()"
+        )
 
     def init(self) -> None:
         """Optional per-run initialisation hook called before execution."""

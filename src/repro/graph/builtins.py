@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, List, Optional, Sequence
 
+import numpy as np
+
 from repro.errors import ValidationError
 from repro.graph.base import Filter
 
@@ -15,11 +17,16 @@ from repro.graph.base import Filter
 class Identity(Filter):
     """Outputs exactly the items it inputs (StreamIt's ``IDENTITY()``)."""
 
+    supports_work_batch = True
+
     def __init__(self, name: Optional[str] = None) -> None:
         super().__init__(pop=1, push=1, name=name)
 
     def work(self) -> None:
         self.push(self.pop())
+
+    def work_batch(self, n: int) -> None:
+        self.output.push_block(self.input.pop_block(n))
 
 
 class ArraySource(Filter):
@@ -29,6 +36,8 @@ class ArraySource(Filter):
     long executions; tests that care about exact data size the sequence to
     the number of items they consume.
     """
+
+    supports_work_batch = True
 
     def __init__(self, data: Sequence[float], name: Optional[str] = None) -> None:
         super().__init__(pop=0, push=1, name=name)
@@ -45,9 +54,17 @@ class ArraySource(Filter):
         self.push(self.data[self._pos])
         self._pos = (self._pos + 1) % len(self.data)
 
+    def work_batch(self, n: int) -> None:
+        data = np.asarray(self.data, dtype=np.float64)
+        idx = (self._pos + np.arange(n)) % len(data)
+        self.output.push_block(data[idx])
+        self._pos = (self._pos + n) % len(data)
+
 
 class FunctionSource(Filter):
     """Pushes ``fn(i)`` for ``i = 0, 1, 2, …`` — a deterministic generator."""
+
+    supports_work_batch = True
 
     def __init__(self, fn: Callable[[int], float], name: Optional[str] = None) -> None:
         super().__init__(pop=0, push=1, name=name)
@@ -61,9 +78,17 @@ class FunctionSource(Filter):
         self.push(self.fn(self._i))
         self._i += 1
 
+    def work_batch(self, n: int) -> None:
+        fn, i = self.fn, self._i
+        values = np.array([fn(i + k) for k in range(n)], dtype=np.float64)
+        self._i = i + n
+        self.output.push_block(values)
+
 
 class CollectSink(Filter):
     """Consumes one item per firing, recording everything it sees."""
+
+    supports_work_batch = True
 
     def __init__(self, name: Optional[str] = None) -> None:
         super().__init__(pop=1, push=0, name=name)
@@ -75,15 +100,23 @@ class CollectSink(Filter):
     def work(self) -> None:
         self.collected.append(self.pop())
 
+    def work_batch(self, n: int) -> None:
+        self.collected.extend(self.input.pop_block(n).tolist())
+
 
 class NullSink(Filter):
     """Consumes and discards one item per firing."""
+
+    supports_work_batch = True
 
     def __init__(self, name: Optional[str] = None) -> None:
         super().__init__(pop=1, push=0, name=name)
 
     def work(self) -> None:
         self.pop()
+
+    def work_batch(self, n: int) -> None:
+        self.input.drop(n)
 
 
 class FunctionFilter(Filter):
@@ -132,11 +165,17 @@ class Decimator(Filter):
         self.factor = factor
         self.offset = offset
 
+    supports_work_batch = True
+
     def work(self) -> None:
         kept = self.peek(self.offset)
         for _ in range(self.factor):
             self.pop()
         self.push(kept)
+
+    def work_batch(self, n: int) -> None:
+        block = self.input.pop_block(n * self.factor)
+        self.output.push_block(block[self.offset :: self.factor])
 
 
 class Expander(Filter):
@@ -148,10 +187,17 @@ class Expander(Filter):
         super().__init__(pop=1, push=factor, name=name)
         self.factor = factor
 
+    supports_work_batch = True
+
     def work(self) -> None:
         self.push(self.pop())
         for _ in range(self.factor - 1):
             self.push(0.0)
+
+    def work_batch(self, n: int) -> None:
+        out = np.zeros((n, self.factor))
+        out[:, 0] = self.input.pop_block(n)
+        self.output.push_block(out)
 
 
 class Duplicator(Filter):
@@ -163,7 +209,12 @@ class Duplicator(Filter):
         super().__init__(pop=1, push=copies, name=name)
         self.copies = copies
 
+    supports_work_batch = True
+
     def work(self) -> None:
         item = self.pop()
         for _ in range(self.copies):
             self.push(item)
+
+    def work_batch(self, n: int) -> None:
+        self.output.push_block(np.repeat(self.input.pop_block(n), self.copies))

@@ -1,13 +1,19 @@
 """Runtime execution: channels, the interpreter, and teleport messaging."""
 
+from repro.runtime.array_channel import ArrayChannel
 from repro.runtime.channel import Channel, ChannelUnderflow
-from repro.runtime.interpreter import Interpreter, run_to_list
+from repro.runtime.interpreter import ENGINES, Interpreter, run_to_list
 from repro.runtime.messaging import BEST_EFFORT, PendingMessage, Portal, TimeInterval
+from repro.runtime.plan import ExecutionPlan, compile_and_run
 
 __all__ = [
+    "ArrayChannel",
     "Channel",
     "ChannelUnderflow",
+    "ENGINES",
+    "ExecutionPlan",
     "Interpreter",
+    "compile_and_run",
     "run_to_list",
     "Portal",
     "TimeInterval",

@@ -93,3 +93,44 @@ class Channel:
     def snapshot(self) -> List[float]:
         """The live items, oldest first (for inspection/testing)."""
         return self._buf[self._head :]
+
+    # -- block API -------------------------------------------------------------
+    # Mirrors ArrayChannel so work_batch kernels run on either channel kind
+    # (the batched engine always uses ArrayChannel; these list-based forms
+    # exist for direct testing of work_batch implementations).
+
+    def push_block(self, block) -> None:
+        """Enqueue a whole array of items (flattened in C order)."""
+        import numpy as np
+
+        values = np.ascontiguousarray(block, dtype=np.float64).reshape(-1)
+        self._buf.extend(values.tolist())
+        self.pushed_count += values.size
+
+    def peek_block(self, count: int):
+        """The first ``count`` live items as a float64 array (a copy)."""
+        import numpy as np
+
+        if count < 0 or self.occupancy < count:
+            raise ChannelUnderflow(
+                f"peek_block({count}) on channel {self.name!r} holding {self.occupancy}"
+            )
+        return np.asarray(self._buf[self._head : self._head + count], dtype=np.float64)
+
+    def pop_block(self, count: int):
+        """Dequeue ``count`` items as a float64 array."""
+        block = self.peek_block(count)
+        self.drop(count)
+        return block
+
+    def drop(self, count: int) -> None:
+        """Discard the first ``count`` live items (a pop without the values)."""
+        if count < 0 or self.occupancy < count:
+            raise ChannelUnderflow(
+                f"drop({count}) on channel {self.name!r} holding {self.occupancy}"
+            )
+        self._head += count
+        self.popped_count += count
+        if self._head >= _COMPACT_THRESHOLD and self._head * 2 >= len(self._buf):
+            del self._buf[: self._head]
+            self._head = 0

@@ -9,6 +9,18 @@ Teleport messaging integrates here: portals reachable from filter attributes
 are bound automatically, message thresholds are computed with the wavefront
 oracle at send time, and deliveries happen exactly at the firing boundaries
 the semantics prescribe.
+
+Two execution engines share this front end (see DESIGN.md, "Execution
+engines"):
+
+* ``engine="scalar"`` — the reference path: Python-list channels, one
+  ``work()`` call per firing, messaging checks interleaved.
+* ``engine="batched"`` — an :class:`~repro.runtime.plan.ExecutionPlan`
+  compiled from the same schedule, running block kernels over
+  :class:`~repro.runtime.array_channel.ArrayChannel` tapes.  Chosen only
+  when no portals are bound (teleport messaging needs per-firing delivery
+  points); programs with portals silently fall back to the scalar path so
+  ``engine="batched"`` is always safe to request.
 """
 
 from __future__ import annotations
@@ -20,10 +32,15 @@ from repro.graph.base import Filter, Stream
 from repro.graph.flatgraph import FILTER, JOINER, SPLITTER, FlatGraph, FlatNode
 from repro.graph.splitjoin import COMBINE, DUPLICATE, NULL, ROUND_ROBIN
 from repro.graph.validation import validate
+from repro.runtime.array_channel import ArrayChannel
 from repro.runtime.channel import Channel
 from repro.runtime.messaging import PendingMessage, Portal
+from repro.runtime.plan import ExecutionPlan
 from repro.scheduling.sdep import WavefrontOracle
 from repro.scheduling.steady import ProgramSchedule, build_schedule
+
+#: Valid values for ``Interpreter(engine=...)``.
+ENGINES = ("scalar", "batched")
 
 
 class Interpreter:
@@ -32,15 +49,26 @@ class Interpreter:
     Args:
         stream: the top-level (closed) stream to run.
         check: run full semantic validation before executing.
+        engine: ``"scalar"`` (reference, one ``work()`` per firing) or
+            ``"batched"`` (compiled plan over array channels; falls back to
+            scalar when teleport portals are bound).
 
     Typical use::
 
         interp = Interpreter(app)
         interp.run(periods=100)
         print(sink.collected)
+
+    A filter's ``input``/``output`` channels belong to the interpreter that
+    bound them last; constructing a second interpreter over the same stream
+    invalidates the first (running it raises), because silently sharing
+    live filter state would cross-wire both.
     """
 
-    def __init__(self, stream: Stream, check: bool = True) -> None:
+    def __init__(self, stream: Stream, check: bool = True, engine: str = "scalar") -> None:
+        if engine not in ENGINES:
+            raise StreamItError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        self.engine = engine
         self.stream = stream
         self.graph: FlatGraph = validate(stream) if check else None  # type: ignore
         if self.graph is None:
@@ -55,30 +83,55 @@ class Interpreter:
         self._oracle: Optional[WavefrontOracle] = None
         self._current_node: Optional[FlatNode] = None
         self._initialized = False
+        self.plan: Optional[ExecutionPlan] = None
         self._setup()
 
     # -- setup ---------------------------------------------------------------
 
     def _setup(self) -> None:
+        # Portals must be found before channels are allocated: teleport
+        # messaging forces the scalar engine (and its list channels).
+        portals = self._find_portals()
+        self.has_messaging = bool(portals)
+        batched = self.engine == "batched" and not self.has_messaging
+        channel_cls = ArrayChannel if batched else Channel
         for edge in self.graph.edges:
-            self.channels[edge] = Channel(
+            self.channels[edge] = channel_cls(
                 name=f"{edge.src.name}->{edge.dst.name}", initial=edge.initial
             )
+        self._owner_token = object()
         for node in self.graph.nodes:
             if node.kind == FILTER:
                 filt = node.filter
                 filt.input = self.channels[node.in_edges[0]] if node.in_edges else None
                 filt.output = self.channels[node.out_edges[0]] if node.out_edges else None
+                filt._rt_owner = self._owner_token
             self._executors[node] = self._make_executor(node)
-        self._bind_portals()
+        for portal in portals:
+            portal.bind(self)
+        if batched:
+            self.plan = ExecutionPlan(self)
 
-    def _bind_portals(self) -> None:
+    def _find_portals(self) -> List[Portal]:
+        portals: List[Portal] = []
         seen = set()
         for node in self.graph.filter_nodes():
             for value in vars(node.filter).values():
                 if isinstance(value, Portal) and id(value) not in seen:
                     seen.add(id(value))
-                    value.bind(self)
+                    portals.append(value)
+        return portals
+
+    def _check_ownership(self) -> None:
+        for node in self.graph.filter_nodes():
+            if getattr(node.filter, "_rt_owner", None) is not self._owner_token:
+                raise StreamItError(
+                    f"filter {node.filter.name!r} has been re-bound by another "
+                    "Interpreter since this one was created; a filter's "
+                    "input/output channels (and mutable state) belong to one "
+                    "live interpreter at a time — build a fresh stream per "
+                    "interpreter instead of sharing one"
+                )
 
     def _make_executor(self, node: FlatNode) -> Callable[[], None]:
         if node.kind == FILTER:
@@ -256,15 +309,23 @@ class Interpreter:
         """Call filter ``init`` hooks and run the initialization schedule."""
         if self._initialized:
             return
+        self._check_ownership()
         for node in self.graph.filter_nodes():
             node.filter.init()
-        self._execute_phases(list(self.program.init))
+        if self.plan is not None:
+            self.plan.run_init(self.fired)
+        else:
+            self._execute_phases(list(self.program.init))
         self._initialized = True
 
     def run_steady(self, periods: int = 1) -> None:
         """Run ``periods`` steady-state periods (after initialization)."""
         if not self._initialized:
             self.run_init()
+        self._check_ownership()
+        if self.plan is not None:
+            self.plan.run_steady(self.fired, periods)
+            return
         phases = list(self.program.steady)
         for _ in range(periods):
             self._execute_phases(phases)
@@ -288,8 +349,10 @@ class Interpreter:
         return self.fired[self.graph.node_for(filt)]
 
 
-def run_to_list(stream: Stream, sink, periods: int, check: bool = True) -> List[float]:
+def run_to_list(
+    stream: Stream, sink, periods: int, check: bool = True, engine: str = "scalar"
+) -> List[float]:
     """Convenience: run ``periods`` steady periods, return sink's items."""
-    interp = Interpreter(stream, check=check)
+    interp = Interpreter(stream, check=check, engine=engine)
     interp.run(periods)
     return list(sink.collected)

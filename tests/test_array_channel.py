@@ -1,0 +1,149 @@
+"""Edge cases every channel kind must satisfy.
+
+Parametrized over the list-based ``Channel`` and the numpy ``ArrayChannel``
+so the batched engine's tape honors exactly the contract the scalar
+interpreter relies on: FIFO order, history counters, underflow errors, and
+behavior across internal compaction/slide boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime.array_channel import ArrayChannel
+from repro.runtime.channel import _COMPACT_THRESHOLD, Channel, ChannelUnderflow
+
+CHANNEL_KINDS = [Channel, ArrayChannel]
+
+
+def _invariant(chan) -> None:
+    assert chan.pushed_count - chan.popped_count == chan.occupancy
+
+
+@pytest.mark.parametrize("cls", CHANNEL_KINDS, ids=lambda c: c.__name__)
+def test_fifo_order_and_counters(cls):
+    chan = cls(name="t")
+    chan.push(1.0)
+    chan.push_many([2.0, 3.0, 4.0])
+    _invariant(chan)
+    assert chan.pop() == 1.0
+    assert chan.peek(0) == 2.0
+    assert chan.peek(2) == 4.0
+    assert chan.pop_many(2) == [2.0, 3.0]
+    _invariant(chan)
+    assert chan.snapshot() == [4.0]
+    assert len(chan) == 1
+
+
+@pytest.mark.parametrize("cls", CHANNEL_KINDS, ids=lambda c: c.__name__)
+def test_initial_items_count_as_pushed(cls):
+    chan = cls(name="delay", initial=[9.0, 8.0])
+    assert chan.pushed_count == 2
+    assert chan.popped_count == 0
+    assert chan.occupancy == 2
+    assert chan.pop() == 9.0
+    _invariant(chan)
+
+
+@pytest.mark.parametrize("cls", CHANNEL_KINDS, ids=lambda c: c.__name__)
+def test_push_many_accepts_generator(cls):
+    chan = cls(name="gen")
+    chan.push_many(float(i) for i in range(10))
+    assert chan.pushed_count == 10
+    assert chan.pop_many(10) == [float(i) for i in range(10)]
+    _invariant(chan)
+
+
+@pytest.mark.parametrize("cls", CHANNEL_KINDS, ids=lambda c: c.__name__)
+def test_compaction_boundary_preserves_order(cls):
+    # Drive the head index through the list Channel's compaction threshold
+    # (and the ArrayChannel's slide-to-front) while items remain live.
+    n = _COMPACT_THRESHOLD + 64
+    chan = cls(name="compact")
+    chan.push_many(float(i) for i in range(n))
+    popped = [chan.pop() for _ in range(_COMPACT_THRESHOLD + 1)]
+    assert popped == [float(i) for i in range(_COMPACT_THRESHOLD + 1)]
+    _invariant(chan)
+    # The survivors must be intact and in order after any internal move.
+    assert chan.peek(0) == float(_COMPACT_THRESHOLD + 1)
+    assert chan.snapshot() == [float(i) for i in range(_COMPACT_THRESHOLD + 1, n)]
+    chan.push(-1.0)
+    assert chan.pop_many(chan.occupancy)[-1] == -1.0
+    _invariant(chan)
+
+
+@pytest.mark.parametrize("cls", CHANNEL_KINDS, ids=lambda c: c.__name__)
+def test_peek_beyond_occupancy_after_pop_many(cls):
+    chan = cls(name="under")
+    chan.push_many([1.0, 2.0, 3.0, 4.0])
+    chan.pop_many(3)
+    assert chan.peek(0) == 4.0
+    with pytest.raises(ChannelUnderflow):
+        chan.peek(1)
+    with pytest.raises(ChannelUnderflow):
+        chan.pop_many(2)
+    with pytest.raises(ChannelUnderflow):
+        chan.peek(-1)
+    _invariant(chan)
+
+
+@pytest.mark.parametrize("cls", CHANNEL_KINDS, ids=lambda c: c.__name__)
+def test_pop_from_empty_raises(cls):
+    chan = cls(name="empty")
+    with pytest.raises(ChannelUnderflow):
+        chan.pop()
+
+
+@pytest.mark.parametrize("cls", CHANNEL_KINDS, ids=lambda c: c.__name__)
+def test_block_roundtrip(cls):
+    chan = cls(name="block")
+    chan.push_block(np.arange(6.0).reshape(2, 3))  # flattened in C order
+    assert chan.pushed_count == 6
+    window = chan.peek_block(4)
+    assert window.tolist() == [0.0, 1.0, 2.0, 3.0]
+    assert chan.occupancy == 6  # peek does not consume
+    got = chan.pop_block(2)
+    assert got.tolist() == [0.0, 1.0]
+    chan.drop(2)
+    assert chan.popped_count == 4
+    assert chan.pop_block(2).tolist() == [4.0, 5.0]
+    _invariant(chan)
+    with pytest.raises(ChannelUnderflow):
+        chan.peek_block(1)
+    with pytest.raises(ChannelUnderflow):
+        chan.drop(1)
+
+
+@pytest.mark.parametrize("cls", CHANNEL_KINDS, ids=lambda c: c.__name__)
+def test_block_and_scalar_interleave(cls):
+    chan = cls(name="mix")
+    total_in = 0.0
+    total_out = 0.0
+    for round_ in range(50):
+        block = np.full(37, float(round_))
+        chan.push_block(block)
+        total_in += block.sum()
+        chan.push(float(round_))
+        total_in += round_
+        out = chan.pop_block(19)
+        total_out += out.sum()
+        total_out += chan.pop()
+        _invariant(chan)
+    total_out += chan.pop_block(chan.occupancy).sum()
+    assert total_in == pytest.approx(total_out)
+    assert chan.occupancy == 0
+    assert chan.pushed_count == chan.popped_count == 50 * 38
+
+
+def test_array_channel_growth_keeps_views_contiguous():
+    # Interleaved pushes/pops force both geometric growth and the
+    # slide-to-front path; peek windows must stay contiguous C arrays.
+    chan = ArrayChannel(name="grow")
+    expect = 0.0
+    pushed = 0.0
+    for i in range(2000):
+        chan.push_block(np.arange(i % 7 + 1, dtype=np.float64))
+        if chan.occupancy >= 5:
+            window = chan.peek_block(5)
+            assert window.flags["C_CONTIGUOUS"]
+            chan.drop(3)
+    assert chan.pushed_count - chan.popped_count == chan.occupancy

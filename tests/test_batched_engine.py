@@ -1,0 +1,160 @@
+"""The batched engine's contract: same outputs as the scalar interpreter.
+
+The equivalence test runs every application in the suite under both engines
+and requires *exact* equality — the batched kernels for data movement and
+the loop-sequential app filters preserve each firing's floating-point
+operation order, so there is no tolerance to hide behind.  ``LinearFilter``
+is the one documented exception (GEMM vs GEMV kernel selection inside BLAS)
+and is covered by a tight ``allclose`` unit test instead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.apps.common import FIRFilter
+from repro.errors import StreamItError
+from repro.graph.builtins import CollectSink
+from repro.linear.linrep import LinearFilter, LinearRep
+from repro.runtime import ArrayChannel, Channel, Interpreter, compile_and_run
+
+
+def _run(builder, engine: str, periods: int):
+    app = builder()
+    sink = next(f for f in app.filters() if isinstance(f, CollectSink))
+    interp = Interpreter(app, check=False, engine=engine)
+    interp.run(periods)
+    return list(sink.collected), interp
+
+
+@pytest.mark.parametrize("app_name", sorted(ALL_APPS), ids=str)
+def test_batched_matches_scalar_exactly(app_name):
+    builder = ALL_APPS[app_name]
+    scalar, _ = _run(builder, "scalar", 3)
+    batched, interp = _run(builder, "batched", 3)
+    assert len(scalar) > 0
+    assert batched == scalar  # bit-for-bit, not approximately
+
+
+@pytest.mark.parametrize("app_name", ["FIR", "FilterBank", "Oversampler", "DToA"])
+def test_fired_counts_match_scalar(app_name):
+    _, scalar = _run(ALL_APPS[app_name], "scalar", 4)
+    _, batched = _run(ALL_APPS[app_name], "batched", 4)
+    scalar_counts = sorted((node.name, n) for node, n in scalar.fired.items())
+    batched_counts = sorted((node.name, n) for node, n in batched.fired.items())
+    assert batched_counts == scalar_counts
+
+
+def test_superbatch_equals_per_period_execution():
+    builder = ALL_APPS["FilterBank"]
+    reference, ref_interp = _run(builder, "batched", 7)
+    assert ref_interp.plan is not None and ref_interp.plan.superbatch
+
+    app = builder()
+    sink = next(f for f in app.filters() if isinstance(f, CollectSink))
+    interp = Interpreter(app, check=False, engine="batched")
+    interp.plan.superbatch = False  # force period-at-a-time batching
+    interp.run(7)
+    assert list(sink.collected) == reference
+
+
+def test_chunked_superbatch_equals_unchunked():
+    builder = ALL_APPS["Oversampler"]
+    reference, _ = _run(builder, "batched", 9)
+    app = builder()
+    sink = next(f for f in app.filters() if isinstance(f, CollectSink))
+    interp = Interpreter(app, check=False, engine="batched")
+    interp.plan.chunk_periods = 2  # force several chunks over 9 periods
+    interp.run(9)
+    assert list(sink.collected) == reference
+
+
+def test_messaging_app_falls_back_to_scalar_path():
+    builder = ALL_APPS["FreqHopRadio"]
+    scalar, _ = _run(builder, "scalar", 2)
+    batched, interp = _run(builder, "batched", 2)
+    assert interp.has_messaging
+    assert interp.plan is None  # portals force the scalar path
+    assert isinstance(next(iter(interp.channels.values())), Channel)
+    assert batched == scalar
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(StreamItError):
+        Interpreter(ALL_APPS["FIR"](), engine="vectorized")
+
+
+def test_compile_and_run_returns_finished_interpreter():
+    app = ALL_APPS["FIR"]()
+    sink = next(f for f in app.filters() if isinstance(f, CollectSink))
+    interp = compile_and_run(app, periods=5)
+    assert interp.engine == "batched"
+    assert interp.plan is not None
+    assert len(sink.collected) > 0
+
+
+# -- work_batch kernel units --------------------------------------------------
+
+
+def _fresh_io(filt, items):
+    filt.input = ArrayChannel(name="in")
+    filt.output = ArrayChannel(name="out")
+    filt.input.push_block(np.asarray(items, dtype=np.float64))
+
+
+def test_fir_work_batch_bit_identical():
+    rng = np.random.default_rng(7)
+    coeffs = rng.standard_normal(9)
+    data = rng.standard_normal(64)
+    n = 20
+
+    scalar = FIRFilter(coeffs, decimation=2)
+    _fresh_io(scalar, data)
+    for _ in range(n):
+        scalar.work()
+
+    batched = FIRFilter(coeffs, decimation=2)
+    _fresh_io(batched, data)
+    batched.work_batch(n)
+
+    assert batched.output.snapshot() == scalar.output.snapshot()  # exact
+    assert batched.input.popped_count == scalar.input.popped_count
+
+
+def test_linear_filter_work_batch_allclose():
+    rng = np.random.default_rng(11)
+    rep = LinearRep(rng.standard_normal((3, 8)), rng.standard_normal(3), pop=2)
+    data = rng.standard_normal(80)
+    n = 25
+
+    scalar = LinearFilter(rep)
+    _fresh_io(scalar, data)
+    for _ in range(n):
+        scalar.work()
+
+    batched = LinearFilter(rep)
+    _fresh_io(batched, data)
+    batched.work_batch(n)
+
+    np.testing.assert_allclose(
+        batched.output.snapshot(), scalar.output.snapshot(), rtol=1e-13, atol=1e-13
+    )
+    assert batched.input.popped_count == scalar.input.popped_count
+
+
+# -- cross-wiring regression --------------------------------------------------
+
+
+def test_second_interpreter_invalidates_first():
+    app = ALL_APPS["FIR"]()
+    sink = next(f for f in app.filters() if isinstance(f, CollectSink))
+    first = Interpreter(app, check=False)
+    first.run(1)
+    # Constructing a second interpreter rebinds the shared filters ...
+    second = Interpreter(app, check=False, engine="batched")
+    # ... so the stale interpreter must refuse to run rather than
+    # cross-wire both onto a mix of channel sets.
+    with pytest.raises(StreamItError, match="re-bound"):
+        first.run_steady(1)
+    second.run(1)
+    assert len(sink.collected) > 0
