@@ -52,21 +52,27 @@ def test_e8_interpreter_throughput(benchmark, report):
     def compare():
         teleport = measure_throughput(freqhop.build_teleport, 200, warmup_periods=40)
         manual = measure_throughput(freqhop.build_manual, 200, warmup_periods=40)
-        # The manual radio has no portals, so the batched engine applies to
-        # it; the teleport radio falls back to the scalar path (messaging
-        # needs per-firing delivery points).
+        # Both radios run batched now: the manual loop through segmented
+        # superbatching, the teleport radio period-at-a-time with receiver
+        # batches split at the SDEP-derived delivery points.
+        teleport_batched = measure_throughput(
+            freqhop.build_teleport, 200, warmup_periods=40, engine="batched"
+        )
         manual_batched = measure_throughput(
             freqhop.build_manual, 200, warmup_periods=40, engine="batched"
         )
-        return teleport, manual, manual_batched
+        return teleport, manual, teleport_batched, manual_batched
 
-    teleport, manual, manual_batched = benchmark.pedantic(compare, rounds=1, iterations=1)
+    teleport, manual, teleport_batched, manual_batched = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
     ratio = teleport.items_per_second / manual.items_per_second
     report(
         "== E8b: single-threaded interpreter throughput ==\n"
-        f"teleport:         {teleport.items_per_second:10.0f} items/s\n"
-        f"manual:           {manual.items_per_second:10.0f} items/s\n"
-        f"manual (batched): {manual_batched.items_per_second:10.0f} items/s\n"
+        f"teleport:           {teleport.items_per_second:10.0f} items/s\n"
+        f"manual:             {manual.items_per_second:10.0f} items/s\n"
+        f"teleport (batched): {teleport_batched.items_per_second:10.0f} items/s\n"
+        f"manual (batched):   {manual_batched.items_per_second:10.0f} items/s\n"
         f"ratio: {ratio:.2f} (structural loop penalty absent on one thread)"
     )
     # On one thread the two are comparable; teleport must not be pathologically

@@ -4,13 +4,17 @@ Maps three representative applications onto the simulated 16-core Raw-like
 machine with every strategy, printing the speedup bars and showing why
 coarse-grained data parallelism plus software pipelining wins.
 
-Run with:  python examples/multicore_mapping.py
+Run with:  python examples/multicore_mapping.py [--engine {scalar,batched}]
 """
+
+import argparse
+import time
 
 from repro.apps import dct, filterbank, radar
 from repro.estimate import characterize
 from repro.machine import RawMachine
 from repro.mapping import STRATEGIES
+from repro.runtime import Interpreter
 
 APPS = {
     "DCT": dct.build,            # one dominant stateless filter
@@ -20,6 +24,14 @@ APPS = {
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--engine",
+        choices=("scalar", "batched"),
+        default="scalar",
+        help="execution engine used for the reference run of each app",
+    )
+    args = parser.parse_args()
     machine = RawMachine()
     print(f"target: {machine.n_cores} cores @ {machine.clock_hz/1e6:.0f} MHz "
           f"({machine.peak_mflops:.0f} MFLOPS peak)\n")
@@ -33,6 +45,15 @@ def main() -> None:
             result = STRATEGIES[strategy](builder(), machine)
             row.append(result.speedup)
         print(f"{name:12s}" + "".join(f"{v:14.2f}" for v in row))
+
+    print(f"\nreference execution ({args.engine} engine, 50 periods):")
+    for name, builder in APPS.items():
+        app = builder()
+        interp = Interpreter(app, check=False, engine=args.engine)
+        start = time.perf_counter()
+        interp.run(periods=50)
+        elapsed = time.perf_counter() - start
+        print(f"  {name:12s} {elapsed * 1000:8.1f} ms ({interp.engine_used} engine)")
 
     print("\nwhy: benchmark characteristics")
     for name, builder in APPS.items():

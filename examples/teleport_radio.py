@@ -5,8 +5,10 @@ control) with teleport messaging, shows the retunes landing at their
 wavefront-exact boundaries, and contrasts with the manual control-loop
 implementation on the simulated parallel machine.
 
-Run with:  python examples/teleport_radio.py
+Run with:  python examples/teleport_radio.py [--engine {scalar,batched}]
 """
+
+import argparse
 
 from repro.apps import freqhop
 from repro.graph.builtins import CollectSink
@@ -16,15 +18,25 @@ from repro.runtime import Interpreter
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--engine",
+        choices=("scalar", "batched"),
+        default="batched",
+        help="execution engine (portals run batched now: receiver batches "
+        "split at the SDEP-derived delivery points)",
+    )
+    args = parser.parse_args()
+
     # Run the full demo radio with both portals live.
     app = freqhop.build()
     sink = next(f for f in app.filters() if isinstance(f, CollectSink))
     mixer = next(f for f in app.filters() if f.name == "rf2if")
     booster = next(f for f in app.filters() if f.name == "booster")
 
-    interp = Interpreter(app)
+    interp = Interpreter(app, engine=args.engine)
     interp.run(periods=64)
-    print("== trunked radio, 64 FFT blocks ==")
+    print(f"== trunked radio, 64 FFT blocks ({interp.engine_used} engine) ==")
     print(f"outputs produced:    {len(sink.collected)}")
     print(f"frequency hops:      {mixer.hops} (current {mixer.freq} Hz)")
     print(f"booster switches:    {booster.switches}")

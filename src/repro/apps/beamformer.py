@@ -35,6 +35,11 @@ class Magnitude(Filter):
             value = -value
         self.push(value)
 
+    supports_work_batch = True
+
+    def work_batch(self, n: int) -> None:
+        self.output.push_block(np.abs(self.input.pop_block(n)))
+
 
 def _steer_taps(channel: int) -> List[float]:
     base = lowpass_taps(FIR_TAPS, 0.25)

@@ -46,6 +46,19 @@ class CompareExchange(Filter):
                 self.push(b)
                 self.push(a)
 
+    supports_work_batch = True
+
+    def work_batch(self, n: int) -> None:
+        pairs = self.input.pop_block(2 * n).reshape(n, 2)
+        lo = np.minimum(pairs[:, 0], pairs[:, 1])
+        hi = np.maximum(pairs[:, 0], pairs[:, 1])
+        out = np.empty((n, 2))
+        if self.ascending:
+            out[:, 0], out[:, 1] = lo, hi
+        else:
+            out[:, 0], out[:, 1] = hi, lo
+        self.output.push_block(out)
+
 
 def _pairing_stage(n: int, k: int, j: int, tag: str) -> Pipeline:
     """One bitonic stage: pair elements at distance ``j``; direction from

@@ -67,6 +67,24 @@ class PermuteBits(Filter):
         for _ in range(self.rate.pop):
             self.pop()
 
+    supports_work_batch = True
+
+    def work_batch(self, n: int) -> None:
+        # Pure data movement: gather the permuted columns in one fancy index.
+        peek, pop = self.rate.peek, self.rate.pop
+        perm = list(self.perm)
+        if peek == pop:
+            windows = self.input.pop_block(n * pop).reshape(n, pop)
+            self.output.push_block(windows[:, perm])
+        else:
+            from numpy.lib.stride_tricks import sliding_window_view
+
+            base = self.input.peek_block((n - 1) * pop + peek)
+            windows = sliding_window_view(base, peek)[::pop]
+            out = windows[:, perm]
+            self.input.drop(n * pop)
+            self.output.push_block(out)
+
 
 class SelectHalf(Filter):
     """Extracts the left (0) or right (1) half of a 64-bit block (linear)."""
@@ -80,6 +98,12 @@ class SelectHalf(Filter):
             self.push(self.peek(self.offset + i))
         for _ in range(BLOCK):
             self.pop()
+
+    supports_work_batch = True
+
+    def work_batch(self, n: int) -> None:
+        blocks = self.input.pop_block(n * BLOCK).reshape(n, BLOCK)
+        self.output.push_block(blocks[:, self.offset : self.offset + HALF])
 
 
 class KeyXor(Filter):
@@ -99,6 +123,16 @@ class KeyXor(Filter):
                 self.push(bit)
         for _ in range(len(self.key)):
             self.pop()
+
+    supports_work_batch = True
+
+    def work_batch(self, n: int) -> None:
+        # k=1 columns compute 1.0 - bit (the scalar's exact expression);
+        # k=0 columns pass through untouched.
+        length = len(self.key)
+        blocks = self.input.pop_block(n * length).reshape(n, length)
+        flip = np.asarray(self.key) == 1
+        self.output.push_block(np.where(flip, 1.0 - blocks, blocks))
 
 
 class SBox(Filter):
@@ -120,6 +154,19 @@ class SBox(Filter):
             else:
                 self.push(0.0)
 
+    supports_work_batch = True
+
+    def work_batch(self, n: int) -> None:
+        # Bits are exact 0.0/1.0 floats, so the weighted sum reproduces the
+        # scalar accumulation exactly; output bits are table bit extraction.
+        bits = self.input.pop_block(n * 6).reshape(n, 6)
+        index = (bits @ np.array([32.0, 16.0, 8.0, 4.0, 2.0, 1.0])).astype(np.intp)
+        values = np.asarray(self.table, dtype=np.int64)[index]
+        out = np.empty((n, 4))
+        for j, bit in enumerate((3, 2, 1, 0)):
+            out[:, j] = (values >> bit) & 1
+        self.output.push_block(out)
+
 
 class XorHalves(Filter):
     """Combines (newL | F | oldL) -> (newL | oldL XOR F): the Feistel merge."""
@@ -136,6 +183,17 @@ class XorHalves(Filter):
             self.push(l_bit + f_bit - 2.0 * l_bit * f_bit)
         for _ in range(HALF * 3):
             self.pop()
+
+    supports_work_batch = True
+
+    def work_batch(self, n: int) -> None:
+        blocks = self.input.pop_block(n * HALF * 3).reshape(n, HALF * 3)
+        f = blocks[:, HALF : 2 * HALF]
+        l = blocks[:, 2 * HALF :]
+        out = np.empty((n, BLOCK))
+        out[:, :HALF] = blocks[:, :HALF]
+        out[:, HALF:] = l + f - 2.0 * l * f
+        self.output.push_block(out)
 
 
 def f_function(round_index: int) -> Pipeline:
@@ -182,6 +240,12 @@ class Binarize(Filter):
             self.push(1.0)
         else:
             self.push(0.0)
+
+    supports_work_batch = True
+
+    def work_batch(self, n: int) -> None:
+        values = self.input.pop_block(n)
+        self.output.push_block(np.where(values > 0.0, 1.0, 0.0))
 
 
 def build(n_rounds: int = N_ROUNDS, input_length: int = 256) -> Pipeline:

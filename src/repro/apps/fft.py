@@ -36,6 +36,15 @@ class FFTReorderSimple(Filter):
         for _ in range(2 * self.size):
             self.pop()
 
+    supports_work_batch = True
+
+    def work_batch(self, n: int) -> None:
+        # Pure deinterleave: even-indexed complex pairs, then odd-indexed.
+        size = self.size
+        pairs = self.input.pop_block(n * 2 * size).reshape(n, size, 2)
+        out = np.concatenate((pairs[:, 0::2], pairs[:, 1::2]), axis=1)
+        self.output.push_block(out.reshape(n, 2 * size))
+
 
 class CombineDFT(Filter):
     """One radix-2 combine stage over groups of ``2w`` complex items.
@@ -70,6 +79,28 @@ class CombineDFT(Filter):
             self.pop()
         for value in results:
             self.push(value)
+
+    supports_work_batch = True
+
+    def work_batch(self, n: int) -> None:
+        # Same multiply/add expressions as the scalar butterflies, evaluated
+        # columnwise — elementwise identical, so outputs are bit-exact.
+        w = self.w
+        block = self.input.pop_block(n * 4 * w).reshape(n, 2, w, 2)
+        ar = block[:, 0, :, 0]
+        ai = block[:, 0, :, 1]
+        br = block[:, 1, :, 0]
+        bi = block[:, 1, :, 1]
+        wr = np.asarray(self.wr)
+        wi = np.asarray(self.wi)
+        tr = br * wr - bi * wi
+        ti = br * wi + bi * wr
+        out = np.empty((n, 2, w, 2))
+        out[:, 0, :, 0] = ar + tr
+        out[:, 0, :, 1] = ai + ti
+        out[:, 1, :, 0] = ar - tr
+        out[:, 1, :, 1] = ai - ti
+        self.output.push_block(out.reshape(n, 4 * w))
 
 
 class ComplexScale(Filter):

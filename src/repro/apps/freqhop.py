@@ -73,6 +73,19 @@ class RFtoIF(Filter):
         if self.count == len(self.weights):
             self.count = 0
 
+    supports_work_batch = True
+
+    def work_batch(self, n: int) -> None:
+        # Teleport retunes (``setf``) land between sub-batches: the plan
+        # splits receiver batches at delivery points, so within one call the
+        # weight table is fixed and only the phase counter advances.
+        weights = np.asarray(self.weights)
+        length = weights.size
+        block = self.input.pop_block(n)
+        phase = (self.count + np.arange(n)) % length
+        self.output.push_block(block * weights[phase])
+        self.count = int((self.count + n) % length)
+
 
 class Booster(Filter):
     """A switchable FIR gain stage; toggled by best-effort messages."""

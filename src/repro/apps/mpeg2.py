@@ -74,6 +74,24 @@ class InverseQuantizer(Filter):
         # Adapt the quantizer scale for the next block (bounded).
         self.scale = 0.95 * self.scale + 0.05 * (1.0 + 0.1 * (dc if dc < 4.0 else 4.0))
 
+    supports_work_batch = True
+
+    def work_batch(self, n: int) -> None:
+        # The scale recurrence is sequential across blocks, but it is one
+        # Python-float update per *block*; the 64 multiplies per block are
+        # where the time goes, and those vectorize row-wise.
+        blocks = self.input.peek_block(n * BLOCK).reshape(n, BLOCK)
+        scales = np.empty(n)
+        scale = self.scale
+        for k in range(n):
+            scales[k] = scale
+            dc = float(blocks[k, 0])
+            scale = 0.95 * scale + 0.05 * (1.0 + 0.1 * (dc if dc < 4.0 else 4.0))
+        out = blocks * scales[:, None]
+        self.scale = scale
+        self.input.drop(n * BLOCK)
+        self.output.push_block(out)
+
 
 class MotionVectorDecode(Filter):
     """Stateful delta decoder: motion vectors are coded as differences."""
@@ -91,6 +109,23 @@ class MotionVectorDecode(Filter):
             self.predictors[i] = self.predictors[i] * 0.5 + delta
             self.push(self.predictors[i])
 
+    supports_work_batch = True
+
+    def work_batch(self, n: int) -> None:
+        # Per-lane serial recurrence — the loop stays scalar, but hoisting
+        # channel I/O out of it removes per-firing dispatch.
+        values = self.input.pop_block(n * MV).tolist()
+        predictors = self.predictors
+        out = [0.0] * (n * MV)
+        k = 0
+        for _ in range(n):
+            for i in range(MV):
+                p = predictors[i] * 0.5 + values[k]
+                predictors[i] = p
+                out[k] = p
+                k += 1
+        self.output.push_block(np.asarray(out))
+
 
 class Saturate(Filter):
     """Clamps samples into the displayable range (nonlinear)."""
@@ -107,6 +142,12 @@ class Saturate(Filter):
         if value > self.hi:
             value = self.hi
         self.push(value)
+
+    supports_work_batch = True
+
+    def work_batch(self, n: int) -> None:
+        values = self.input.pop_block(n)
+        self.output.push_block(np.minimum(np.maximum(values, self.lo), self.hi))
 
 
 def block_decode() -> Pipeline:

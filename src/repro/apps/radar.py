@@ -58,6 +58,32 @@ class BeamFirFilter(Filter):
             total += self.taps[i] * self.history[(self.pos - 1 - i) % n]
         self.push(total)
 
+    supports_work_batch = True
+
+    def work_batch(self, n: int) -> None:
+        # Concatenate the delay line (unrolled oldest-first) with the new
+        # block; firing k's tap-i operand is then a strided slice, so the
+        # accumulation runs tap-major with the scalar loop's i-order (bit-
+        # identical sums), and the ring state is rebuilt from the tail.
+        taps, dec = self.taps, self.decimation
+        t = len(taps)
+        pos = self.pos
+        block = self.input.pop_block(n * dec)
+        full = np.empty(t + n * dec)
+        for m in range(t):
+            full[m] = self.history[(pos + m) % t]
+        full[t:] = block
+        total = np.zeros(n)
+        for i in range(t):
+            start = t + dec - 1 - i
+            total += taps[i] * full[start : start + n * dec : dec]
+        self.output.push_block(total)
+        new_pos = (pos + n * dec) % t
+        history = self.history
+        for i in range(t):
+            history[(new_pos - 1 - i) % t] = float(full[t + n * dec - 1 - i])
+        self.pos = new_pos
+
 
 class BeamWeights(Filter):
     """Linear beamforming: a weighted sum over the channel vector."""
@@ -91,6 +117,22 @@ class MagnitudeDetector(Filter):
             value = -value
         self.average = 0.9 * self.average + 0.1 * value
         self.push(self.average)
+
+    supports_work_batch = True
+
+    def work_batch(self, n: int) -> None:
+        # The EMA is a serial recurrence, so the loop stays scalar — but
+        # hoisting channel I/O out of it still removes per-firing dispatch.
+        values = self.input.pop_block(n).tolist()
+        average = self.average
+        out = [0.0] * n
+        for i, value in enumerate(values):
+            if value < 0.0:
+                value = -value
+            average = 0.9 * average + 0.1 * value
+            out[i] = average
+        self.average = average
+        self.output.push_block(np.asarray(out))
 
 
 def _beam_weights(beam: int) -> List[float]:

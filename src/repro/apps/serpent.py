@@ -56,6 +56,17 @@ class SerpentSBox(Filter):
             else:
                 self.push(0.0)
 
+    supports_work_batch = True
+
+    def work_batch(self, n: int) -> None:
+        bits = self.input.pop_block(n * 4).reshape(n, 4)
+        index = (bits @ np.array([8.0, 4.0, 2.0, 1.0])).astype(np.intp)
+        values = np.asarray(self.table, dtype=np.int64)[index]
+        out = np.empty((n, 4))
+        for j, bit in enumerate((3, 2, 1, 0)):
+            out[:, j] = (values >> bit) & 1
+        self.output.push_block(out)
+
 
 def serpent_round(round_index: int) -> Pipeline:
     table = _sbox_table(round_index)

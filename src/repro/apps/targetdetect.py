@@ -34,6 +34,12 @@ class ThresholdDetect(Filter):
         else:
             self.push(0.0)
 
+    supports_work_batch = True
+
+    def work_batch(self, n: int) -> None:
+        values = self.input.pop_block(n)
+        self.output.push_block(np.where(values > self.threshold, values, 0.0))
+
 
 def _target_bands(n_taps: int) -> List[List[float]]:
     bands = [(0.02, 0.10), (0.10, 0.20), (0.20, 0.32), (0.32, 0.45)]

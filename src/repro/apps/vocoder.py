@@ -83,6 +83,24 @@ class PhaseUnwrap(Filter):
         self.accumulated += delta * self.speed
         self.push(self.accumulated)
 
+    supports_work_batch = True
+
+    def work_batch(self, n: int) -> None:
+        # Each delta depends only on consecutive inputs, and the accumulator
+        # is a strict left fold — np.add.accumulate reproduces the scalar
+        # addition order bit-for-bit.
+        phases = self.input.pop_block(n)
+        prev = np.concatenate(([self.previous], phases[:-1]))
+        delta = phases - prev
+        while np.any(delta > math.pi):
+            delta = np.where(delta > math.pi, delta - 2 * math.pi, delta)
+        while np.any(delta < -math.pi):
+            delta = np.where(delta < -math.pi, delta + 2 * math.pi, delta)
+        acc = np.add.accumulate(np.concatenate(([self.accumulated], delta * self.speed)))
+        self.previous = float(phases[-1])
+        self.accumulated = float(acc[-1])
+        self.output.push_block(acc[1:])
+
 
 class PolarToRect(Filter):
     """(magnitude, phase) -> (re, im): nonlinear, stateless."""

@@ -50,5 +50,14 @@ class MessagingError(StreamItError):
     """Illegal use of portals/teleport messaging (e.g. unsatisfiable latency)."""
 
 
+class EngineDowngradeWarning(RuntimeWarning):
+    """The requested execution engine was downgraded or degraded.
+
+    Emitted when ``engine="batched"`` cannot be honoured as asked — the
+    program falls back to the scalar path, or superbatching degrades to
+    period-at-a-time execution (feedback loops).  Construct the interpreter
+    with ``strict=True`` to raise :class:`StreamItError` instead."""
+
+
 class MachineError(StreamItError):
     """The machine simulator was given an inconsistent mapping or schedule."""

@@ -173,6 +173,14 @@ class Filter(Stream):
     #: stateful or unanalyzable filters.
     supports_work_batch = False
 
+    #: Vectorization hint for the batched engine's *generic* lifter
+    #: (``runtime/vectorize.py``).  ``None`` (default) lets the engine decide
+    #: via bytecode analysis plus a bit-exactness trial; ``False`` opts the
+    #: filter out of lifting entirely (it still runs via the hoisted-I/O
+    #: per-firing loop); ``True`` asserts the work function is pure so the
+    #: engine may skip the bytecode screen (the trial still runs).
+    stateless: Optional[bool] = None
+
     def work(self) -> None:
         """One execution step.  Subclasses must override."""
         raise NotImplementedError(f"{type(self).__name__} must implement work()")

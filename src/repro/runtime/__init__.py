@@ -1,19 +1,30 @@
 """Runtime execution: channels, the interpreter, and teleport messaging."""
 
+from repro.errors import EngineDowngradeWarning
 from repro.runtime.array_channel import ArrayChannel
 from repro.runtime.channel import Channel, ChannelUnderflow
 from repro.runtime.interpreter import ENGINES, Interpreter, run_to_list
 from repro.runtime.messaging import BEST_EFFORT, PendingMessage, Portal, TimeInterval
-from repro.runtime.plan import ExecutionPlan, compile_and_run
+from repro.runtime.plan import (
+    ExecutionPlan,
+    clear_plan_cache,
+    compile_and_run,
+    plan_cache_stats,
+)
+from repro.runtime.vectorize import BatchExecutor
 
 __all__ = [
     "ArrayChannel",
+    "BatchExecutor",
     "Channel",
     "ChannelUnderflow",
     "ENGINES",
+    "EngineDowngradeWarning",
     "ExecutionPlan",
     "Interpreter",
+    "clear_plan_cache",
     "compile_and_run",
+    "plan_cache_stats",
     "run_to_list",
     "Portal",
     "TimeInterval",

@@ -130,6 +130,26 @@ class ArrayChannel:
         self._tail += n
         self.pushed_count += n
 
+    def adopt_block(self, block: np.ndarray) -> None:
+        """Make ``block`` the channel's entire contents, copying only if needed.
+
+        Fast path for fused pipelines: when the channel is empty, the pushed
+        array *becomes* the backing buffer (zero-copy for a contiguous
+        float64 input), skipping ``_reserve`` and the memcpy of
+        :meth:`push_block`.  Falls back to :meth:`push_block` when items are
+        already queued.
+        """
+        if self._head != self._tail:
+            self.push_block(block)
+            return
+        block = np.ascontiguousarray(block, dtype=np.float64).reshape(-1)
+        if not block.flags.writeable:
+            block = block.copy()
+        self._buf = block
+        self._head = 0
+        self._tail = block.size
+        self.pushed_count += block.size
+
     def peek_block(self, count: int) -> np.ndarray:
         """Zero-copy view of the first ``count`` live items.
 

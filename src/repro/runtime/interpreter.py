@@ -17,17 +17,21 @@ engines"):
   ``work()`` call per firing, messaging checks interleaved.
 * ``engine="batched"`` — an :class:`~repro.runtime.plan.ExecutionPlan`
   compiled from the same schedule, running block kernels over
-  :class:`~repro.runtime.array_channel.ArrayChannel` tapes.  Chosen only
-  when no portals are bound (teleport messaging needs per-firing delivery
-  points); programs with portals silently fall back to the scalar path so
-  ``engine="batched"`` is always safe to request.
+  :class:`~repro.runtime.array_channel.ArrayChannel` tapes.  Portal-bound
+  programs run batched too (period-at-a-time, with receiver batches split
+  at the SDEP-derived delivery points); the only remaining fallback to the
+  scalar path is a portal inside a feedback-interleaved schedule, which is
+  reported via :class:`~repro.errors.EngineDowngradeWarning` (or raises
+  with ``strict=True``).  Check :attr:`Interpreter.engine_used` to see
+  which engine actually ran.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import MessagingError, StreamItError
+from repro.errors import EngineDowngradeWarning, MessagingError, StreamItError
 from repro.graph.base import Filter, Stream
 from repro.graph.flatgraph import FILTER, JOINER, SPLITTER, FlatGraph, FlatNode
 from repro.graph.splitjoin import COMBINE, DUPLICATE, NULL, ROUND_ROBIN
@@ -35,7 +39,7 @@ from repro.graph.validation import validate
 from repro.runtime.array_channel import ArrayChannel
 from repro.runtime.channel import Channel
 from repro.runtime.messaging import PendingMessage, Portal
-from repro.runtime.plan import ExecutionPlan
+from repro.runtime.plan import ExecutionPlan, single_topological_sweep
 from repro.scheduling.sdep import WavefrontOracle
 from repro.scheduling.steady import ProgramSchedule, build_schedule
 
@@ -50,8 +54,12 @@ class Interpreter:
         stream: the top-level (closed) stream to run.
         check: run full semantic validation before executing.
         engine: ``"scalar"`` (reference, one ``work()`` per firing) or
-            ``"batched"`` (compiled plan over array channels; falls back to
-            scalar when teleport portals are bound).
+            ``"batched"`` (compiled plan over array channels; teleport
+            portals run batched period-at-a-time).
+        strict: with ``engine="batched"``, raise :class:`StreamItError`
+            instead of emitting :class:`EngineDowngradeWarning` when the
+            request cannot be honoured in full (scalar fallback or loss of
+            superbatching).
 
     Typical use::
 
@@ -65,10 +73,17 @@ class Interpreter:
     live filter state would cross-wire both.
     """
 
-    def __init__(self, stream: Stream, check: bool = True, engine: str = "scalar") -> None:
+    def __init__(
+        self,
+        stream: Stream,
+        check: bool = True,
+        engine: str = "scalar",
+        strict: bool = False,
+    ) -> None:
         if engine not in ENGINES:
             raise StreamItError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.engine = engine
+        self.strict = bool(strict)
         self.stream = stream
         self.graph: FlatGraph = validate(stream) if check else None  # type: ignore
         if self.graph is None:
@@ -89,11 +104,26 @@ class Interpreter:
     # -- setup ---------------------------------------------------------------
 
     def _setup(self) -> None:
-        # Portals must be found before channels are allocated: teleport
-        # messaging forces the scalar engine (and its list channels).
+        # Plan feasibility must be decided before channels are allocated
+        # (it selects Channel vs ArrayChannel): portal-bound programs run
+        # batched when the steady schedule is a single topological sweep —
+        # then every delivery point falls on a phase-internal batch boundary
+        # the plan can honour.  A portal inside a feedback-interleaved
+        # schedule needs per-firing delivery everywhere, so it downgrades to
+        # the scalar engine (warning, or an error under ``strict``).
         portals = self._find_portals()
+        self._portals = portals
         self.has_messaging = bool(portals)
-        batched = self.engine == "batched" and not self.has_messaging
+        batched = self.engine == "batched"
+        if batched and self.has_messaging and not single_topological_sweep(
+            self.graph, self.program.steady
+        ):
+            self._engine_downgrade(
+                "teleport portals bound inside a feedback-interleaved schedule "
+                "need per-firing delivery points; falling back to the scalar "
+                "engine"
+            )
+            batched = False
         channel_cls = ArrayChannel if batched else Channel
         for edge in self.graph.edges:
             self.channels[edge] = channel_cls(
@@ -111,6 +141,22 @@ class Interpreter:
             portal.bind(self)
         if batched:
             self.plan = ExecutionPlan(self)
+            if not self.plan.superbatch and not self.has_messaging:
+                self._engine_downgrade(
+                    "feedback loop interleaves the steady schedule; batched "
+                    "execution degrades to segmented superbatching (the "
+                    "cyclic core runs period-at-a-time)"
+                )
+
+    def _engine_downgrade(self, reason: str) -> None:
+        if self.strict:
+            raise StreamItError(f"engine='batched' strict mode: {reason}")
+        warnings.warn(reason, EngineDowngradeWarning, stacklevel=4)
+
+    @property
+    def engine_used(self) -> str:
+        """The engine actually executing: ``"batched"`` iff a plan was built."""
+        return "batched" if self.plan is not None else "scalar"
 
     def _find_portals(self) -> List[Portal]:
         portals: List[Portal] = []

@@ -66,6 +66,18 @@ class PendingMessage:
     #: "upstream" (deliver after firing) or "downstream" (before firing).
     direction: str = "downstream"
 
+    def firings_until_due(self, produced: int, push: int) -> int:
+        """Safe batch size for the receiver before this message is due.
+
+        Delegates to :func:`repro.scheduling.sdep.delivery_firings` — the
+        batched engine fires the receiver at most this many times before
+        re-checking delivery, so chunk boundaries land exactly on the
+        SDEP-derived delivery points.
+        """
+        from repro.scheduling.sdep import delivery_firings
+
+        return delivery_firings(self.threshold, produced, push, self.direction)
+
     def deliver(self) -> None:
         handler = getattr(self.receiver, self.method, None)
         if handler is None or not callable(handler):

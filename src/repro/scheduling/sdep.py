@@ -363,3 +363,40 @@ def pipeline_tf(stages: Sequence[TransferFunction]) -> TransferFunction:
     for stage in stages:
         tf = tf.then(stage)
     return tf
+
+
+def delivery_firings(
+    threshold: Optional[int],
+    produced: int,
+    push: int,
+    direction: str,
+) -> int:
+    """How many more firings of a message *receiver* are safe before its
+    pending teleport message must be (re)checked for delivery.
+
+    The batched engine fires a receiver ``k`` firings at a time; ``k`` must
+    not step over the SDEP-derived delivery point.  ``threshold`` is the
+    item count on the receiver's output tape at which the message is due
+    (``None`` for best-effort: due immediately, so the step is a single
+    firing), ``produced`` is ``pushed_count`` on that tape so far, and
+    ``push`` the receiver's per-firing push rate.
+
+    * ``downstream`` messages are delivered *before* the first firing whose
+      completion would carry ``produced`` strictly past the threshold, so up
+      to ``(threshold - produced) // push`` firings may run first.
+    * ``upstream`` messages are delivered *after* the firing that reaches
+      ``produced >= threshold`` — ``ceil((threshold - produced) / push)``
+      firings away.
+
+    Always returns at least 1 (the engine re-checks between steps; a filter
+    that pushes nothing can never cross a threshold, so it runs one firing
+    at a time under a pending message).
+    """
+    if threshold is None or push <= 0:
+        return 1
+    gap = threshold - produced
+    if gap <= 0:
+        return 1
+    if direction == "downstream":
+        return max(1, gap // push)
+    return max(1, -(-gap // push))

@@ -69,13 +69,15 @@ def test_chunked_superbatch_equals_unchunked():
     assert list(sink.collected) == reference
 
 
-def test_messaging_app_falls_back_to_scalar_path():
+def test_messaging_app_runs_batched():
     builder = ALL_APPS["FreqHopRadio"]
-    scalar, _ = _run(builder, "scalar", 2)
-    batched, interp = _run(builder, "batched", 2)
+    scalar, _ = _run(builder, "scalar", 6)
+    batched, interp = _run(builder, "batched", 6)
     assert interp.has_messaging
-    assert interp.plan is None  # portals force the scalar path
-    assert isinstance(next(iter(interp.channels.values())), Channel)
+    assert interp.plan is not None  # portals no longer force the scalar path
+    assert interp.engine_used == "batched"
+    assert not interp.plan.superbatch  # delivery points bound each period
+    assert isinstance(next(iter(interp.channels.values())), ArrayChannel)
     assert batched == scalar
 
 

@@ -1,9 +1,13 @@
 """Cross-cutting property-based tests on the core invariants."""
 
+import math
+import warnings
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.errors import EngineDowngradeWarning
 from repro.graph import (
     ArraySource,
     CollectSink,
@@ -17,8 +21,11 @@ from repro.graph import (
     joiner_roundrobin,
     roundrobin,
 )
+from repro.graph.base import Filter
+from repro.graph.composites import FeedbackLoop
 from repro.linear import LinearRep, combine_pipeline, extract_linear, fir_rep
 from repro.runtime import Channel, Interpreter
+from repro.runtime.messaging import Portal, TimeInterval
 from repro.scheduling import build_schedule, repetitions
 from tests.helpers import FIR, run_pipeline
 
@@ -188,3 +195,270 @@ class TestEndToEndProperties:
         got = run_pipeline(fiss(FIR(coeffs), k), data=data, periods=4)
         m = min(len(base), len(got))
         assert m > 0 and np.allclose(base[:m], got[:m])
+
+
+# ---------------------------------------------------------------------------
+# Differential fuzzing: random graphs, scalar vs batched, bit-exact
+# ---------------------------------------------------------------------------
+
+
+class _FuzzMap(Filter):
+    """Stateless elementwise map (exercises the generic vector lift)."""
+
+    def __init__(self, a: float, b: float, mode: int) -> None:
+        super().__init__(pop=1, push=1)
+        self.a = a
+        self.b = b
+        self.mode = mode
+
+    def work(self) -> None:
+        x = self.pop()
+        if self.mode == 0:
+            y = self.a * x + self.b
+        elif self.mode == 1:
+            y = math.sin(x) * self.a
+        else:
+            y = x * x - self.b
+        self.push(y)
+
+
+class _FuzzPeek(Filter):
+    """Stateless peeking weighted sum (exercises the sliding-window lift)."""
+
+    def __init__(self, taps) -> None:
+        super().__init__(peek=len(taps), pop=1, push=1)
+        self.taps = tuple(taps)
+
+    def work(self) -> None:
+        total = 0.0
+        for i in range(len(self.taps)):
+            total += self.peek(i) * self.taps[i]
+        self.pop()
+        self.push(total)
+
+
+class _FuzzRate(Filter):
+    """Stateless multi-rate (pop p, push q) reducer/expander."""
+
+    def __init__(self, p: int, q: int) -> None:
+        super().__init__(pop=p, push=q)
+
+    def work(self) -> None:
+        total = 0.0
+        for _ in range(self.rate.pop):
+            total += self.pop()
+        for j in range(self.rate.push):
+            self.push(total * (j + 1))
+
+
+class _FuzzStateful(Filter):
+    """Serial recurrence (the trial demotes this to the hoisted loop path)."""
+
+    def __init__(self) -> None:
+        super().__init__(pop=1, push=1)
+        self.acc = 0.0
+
+    def init(self) -> None:
+        self.acc = 0.0
+
+    def work(self) -> None:
+        self.acc = self.acc * 0.5 + self.pop()
+        self.push(self.acc)
+
+
+class _FuzzShaper(Filter):
+    """Feedback-loop body: merges the input with the fed-back item."""
+
+    def __init__(self, leak: float) -> None:
+        super().__init__(pop=2, push=2)
+        self.leak = leak
+
+    def work(self) -> None:
+        x = self.pop()
+        fed = self.pop()
+        y = x - self.leak * fed
+        self.push(y)
+        self.push(y * 0.5)
+
+
+class _FuzzGain(Filter):
+    """Teleport receiver: gain retuned by ``set_gain`` messages."""
+
+    def __init__(self) -> None:
+        super().__init__(pop=1, push=1)
+        self.gain = 1.0
+
+    def init(self) -> None:
+        self.gain = 1.0
+
+    def set_gain(self, gain: float) -> None:
+        self.gain = gain
+
+    def work(self) -> None:
+        self.push(self.pop() * self.gain)
+
+
+class _FuzzSender(Filter):
+    """Teleport sender: messages the portal on a threshold crossing."""
+
+    def __init__(self, portal: Portal, threshold: float, latency: int) -> None:
+        super().__init__(pop=1, push=1)
+        self.portal = portal
+        self.threshold = threshold
+        self.latency = latency
+        self._quiet = 0
+
+    def init(self) -> None:
+        self._quiet = 0
+
+    def work(self) -> None:
+        value = self.pop()
+        if self._quiet > 0:
+            self._quiet -= 1
+        elif value > self.threshold:
+            self.portal.set_gain(
+                2.0 + (value - self.threshold) % 1.0,
+                interval=TimeInterval(max_time=self.latency),
+            )
+            self._quiet = 3
+        self.push(value)
+
+
+def _random_stage(gen):
+    kind = int(gen.integers(0, 5))
+    if kind == 0:
+        return _FuzzMap(
+            float(gen.uniform(-2, 2)), float(gen.uniform(-1, 1)), int(gen.integers(0, 3))
+        )
+    if kind == 1:
+        return _FuzzPeek([float(v) for v in gen.uniform(-1, 1, size=int(gen.integers(2, 6)))])
+    if kind == 2:
+        return _FuzzRate(int(gen.integers(1, 4)), int(gen.integers(1, 4)))
+    if kind == 3:
+        return _FuzzStateful()
+    branches = int(gen.integers(2, 4))
+    children = [
+        Pipeline(_FuzzMap(float(gen.uniform(-2, 2)), 0.0, 0), Identity())
+        if gen.integers(0, 2)
+        else _FuzzStateful()
+        for _ in range(branches)
+    ]
+    if gen.integers(0, 2):
+        return SplitJoin(duplicate(), children, joiner_roundrobin())
+    return SplitJoin(
+        roundrobin(*([1] * branches)), children, joiner_roundrobin(*([1] * branches))
+    )
+
+
+def _run_engine(build, engine, periods):
+    app = build()
+    sink = next(f for f in app.filters() if isinstance(f, CollectSink))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", EngineDowngradeWarning)
+        interp = Interpreter(app, check=False, engine=engine)
+        interp.run(periods=periods)
+    return list(sink.collected), interp
+
+
+class TestBatchedEngineDifferential:
+    """Randomized scalar-vs-batched differential tests: every generated graph
+    must produce bit-identical outputs on both engines."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_pipelines_bit_exact(self, seed):
+        gen = np.random.default_rng(seed)
+        data = [float(v) for v in gen.uniform(-4, 4, size=8)]
+        n_stages = int(gen.integers(1, 4))
+        spec_seed = int(gen.integers(0, 2**32))
+
+        def build():
+            g = np.random.default_rng(spec_seed)
+            return Pipeline(
+                ArraySource(data),
+                *[_random_stage(g) for _ in range(n_stages)],
+                CollectSink(),
+            )
+
+        scalar, _ = _run_engine(build, "scalar", 5)
+        batched, interp = _run_engine(build, "batched", 5)
+        assert interp.engine_used == "batched"
+        assert batched == scalar
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        delay=st.integers(min_value=1, max_value=4),
+    )
+    def test_random_feedback_loops_bit_exact(self, seed, delay):
+        gen = np.random.default_rng(seed)
+        data = [float(v) for v in gen.uniform(-2, 2, size=6)]
+        leak = float(gen.uniform(0.1, 0.9))
+        taps = [float(v) for v in gen.uniform(-1, 1, size=4)]
+
+        def build():
+            loop = FeedbackLoop(
+                joiner_roundrobin(1, 1),
+                _FuzzShaper(leak),
+                roundrobin(1, 1),
+                Identity(),
+                delay=delay,
+                init_path=lambda i: 0.0,
+            )
+            return Pipeline(
+                ArraySource(data), _FuzzPeek(taps), loop, _FuzzMap(0.5, 1.0, 0), CollectSink()
+            )
+
+        scalar, _ = _run_engine(build, "scalar", 6)
+        batched, interp = _run_engine(build, "batched", 6)
+        assert interp.engine_used == "batched"
+        assert not interp.plan.superbatch
+        assert interp.plan.segments is not None
+        assert batched == scalar
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        latency=st.integers(min_value=1, max_value=8),
+        upstream=st.booleans(),
+    )
+    def test_random_portal_messaging_bit_exact(self, seed, latency, upstream):
+        gen = np.random.default_rng(seed)
+        data = [float(v) for v in gen.uniform(-4, 4, size=8)]
+        threshold = float(gen.uniform(0.0, 2.0))
+
+        def build():
+            portal = Portal()
+            receiver = _FuzzGain()
+            portal.register(receiver)
+            sender = _FuzzSender(portal, threshold, latency)
+            stages = (
+                [receiver, _FuzzMap(1.5, 0.0, 0), sender]
+                if upstream
+                else [sender, _FuzzMap(1.5, 0.0, 0), receiver]
+            )
+            return Pipeline(ArraySource(data), *stages, CollectSink())
+
+        scalar, scalar_interp = _run_engine(build, "scalar", 8)
+        batched, interp = _run_engine(build, "batched", 8)
+        assert scalar_interp.has_messaging
+        assert interp.engine_used == "batched"
+        assert batched == scalar
+
+    def test_fused_chain_bit_exact(self):
+        """A deterministic all-SISO pipeline must fuse and stay bit-exact."""
+
+        def build():
+            return Pipeline(
+                ArraySource([1.0, -2.0, 3.5, 0.25]),
+                _FuzzMap(1.25, -0.5, 0),
+                _FuzzMap(0.75, 0.25, 2),
+                _FuzzRate(2, 3),
+                _FuzzMap(-1.5, 0.0, 1),
+                CollectSink(),
+            )
+
+        scalar, _ = _run_engine(build, "scalar", 7)
+        batched, interp = _run_engine(build, "batched", 7)
+        assert interp.plan.fused_chains, "expected at least one fused chain"
+        assert batched == scalar
