@@ -614,9 +614,25 @@ def _load_of(target: ast.expr) -> ast.expr:
 
 
 def try_extract(filt: Filter) -> ExtractionResult:
-    """Run linear extraction, reporting the rep or the reason it failed."""
+    """Run linear extraction, reporting the rep or the reason it failed.
+
+    The alias-aware pre-screen from :mod:`repro.analysis.linearity` gates
+    the abstract interpreter: it rejects stateful filters *including* ones
+    whose writes hide behind local aliases or helper methods (which
+    :func:`mutated_attributes`'s purely syntactic scan misses), and keeps
+    the interpreter — whose subscript stores can write through an alias
+    into a live attribute list — away from instances it could corrupt.
+    """
     if filt.rate.pop == 0 or filt.rate.push == 0:
         return ExtractionResult(None, stateful=False, reason="source or sink filter")
+    try:
+        from repro.analysis.linearity import affine_prescreen
+    except Exception:  # pragma: no cover - analysis layer unavailable
+        affine_prescreen = None
+    if affine_prescreen is not None:
+        candidate, reason = affine_prescreen(filt)
+        if not candidate:
+            return ExtractionResult(None, stateful=True, reason=reason)
     fn = work_source_ast(filt)
     analyzer = _Analyzer(filt)
     if analyzer.mutated:

@@ -99,6 +99,8 @@ class Interpreter:
         self._current_node: Optional[FlatNode] = None
         self._initialized = False
         self.plan: Optional[ExecutionPlan] = None
+        #: Structured engine downgrades (analysis Diagnostics, SL302/SL303).
+        self.downgrades: List[Any] = []
         self._setup()
 
     # -- setup ---------------------------------------------------------------
@@ -121,7 +123,8 @@ class Interpreter:
             self._engine_downgrade(
                 "teleport portals bound inside a feedback-interleaved schedule "
                 "need per-firing delivery points; falling back to the scalar "
-                "engine"
+                "engine",
+                code="SL302",
             )
             batched = False
         channel_cls = ArrayChannel if batched else Channel
@@ -145,18 +148,50 @@ class Interpreter:
                 self._engine_downgrade(
                     "feedback loop interleaves the steady schedule; batched "
                     "execution degrades to segmented superbatching (the "
-                    "cyclic core runs period-at-a-time)"
+                    "cyclic core runs period-at-a-time)",
+                    code="SL303",
                 )
 
-    def _engine_downgrade(self, reason: str) -> None:
+    def _engine_downgrade(self, reason: str, code: str = "SL302") -> None:
+        diagnostic = None
+        try:
+            from repro.analysis import Diagnostic
+
+            diagnostic = Diagnostic.make(code, reason, self.stream)
+            self.downgrades.append(diagnostic)
+        except Exception:  # pragma: no cover - analysis layer unavailable
+            pass
         if self.strict:
-            raise StreamItError(f"engine='batched' strict mode: {reason}")
-        warnings.warn(reason, EngineDowngradeWarning, stacklevel=4)
+            raise StreamItError(f"engine='batched' strict mode: [{code}] {reason}")
+        warning = EngineDowngradeWarning(f"[{code}] {reason}")
+        warning.diagnostic = diagnostic
+        warnings.warn(warning, stacklevel=4)
 
     @property
     def engine_used(self) -> str:
         """The engine actually executing: ``"batched"`` iff a plan was built."""
         return "batched" if self.plan is not None else "scalar"
+
+    def engine_report(self) -> Dict[str, Any]:
+        """Structured engine outcome: which engine ran, why it degraded.
+
+        ``downgrades`` lists the analysis diagnostics (``SL302`` scalar
+        fallback, ``SL303`` superbatch degradation) behind every
+        :class:`EngineDowngradeWarning` this interpreter emitted, and
+        ``vectorization`` (batched engine only) maps each generically-lifted
+        filter to its executor mode, trusted-proof status, and structured
+        downgrade reason.
+        """
+        report: Dict[str, Any] = {
+            "requested": self.engine,
+            "used": self.engine_used,
+            "downgrades": [
+                {"code": d.code, "message": d.message} for d in self.downgrades
+            ],
+        }
+        if self.plan is not None:
+            report["vectorization"] = self.plan.vectorization_report()
+        return report
 
     def _find_portals(self) -> List[Portal]:
         portals: List[Portal] = []

@@ -317,7 +317,37 @@ class ExecutionPlan:
         filt = node.filter
         if type(filt).supports_work_batch:
             return filt.work_batch, True
-        return BatchExecutor(filt), True
+        # Teleport receivers mutate configuration attributes at delivery
+        # points, so a build-time static proof cannot speak for every batch:
+        # they must earn lifting through the empirical trial instead.
+        return BatchExecutor(filt, allow_trusted=node not in self._receivers), True
+
+    def vectorization_report(self) -> Dict[str, Dict[str, object]]:
+        """Per-filter executor outcome: mode, trust, and downgrade reason.
+
+        Executors resolve lazily, so entries show ``"untried"`` until the
+        plan has run at least once.
+        """
+        report: Dict[str, Dict[str, object]] = {}
+        for node, (fire, _batched) in self._executors.items():
+            if node.kind != FILTER:
+                continue
+            if isinstance(fire, BatchExecutor):
+                downgrade = fire.downgrade
+                report[node.name] = {
+                    "kind": fire.kind,
+                    "trusted": fire.trusted,
+                    "code": downgrade.code if downgrade is not None else None,
+                    "reason": downgrade.message if downgrade is not None else None,
+                }
+            else:
+                report[node.name] = {
+                    "kind": "work_batch",
+                    "trusted": True,
+                    "code": None,
+                    "reason": None,
+                }
+        return report
 
     def _splitter_executor(self, node: FlatNode) -> Tuple[Callable[[int], None], bool]:
         if node.flavor == NULL:

@@ -408,21 +408,66 @@ def _trial_ok(filt, lifted: Callable, n: int) -> bool:
 class BatchExecutor:
     """Per-instance batched executor for filters without a hand kernel.
 
-    Mode resolution is lazy (first call) because the trial needs real input
-    data.  ``kind`` is ``"untried"``, ``"lifted"`` or ``"loop"``.
+    Mode resolution is lazy (first call): filters carrying a static
+    vectorization proof from :mod:`repro.analysis` adopt the lifted kernel
+    immediately (``trusted`` — no trial clones); everything else falls back
+    to the empirical trial.  ``kind`` is ``"untried"``, ``"lifted"`` or
+    ``"loop"``; a structured downgrade reason (an ``SL301`` diagnostic) is
+    kept on :attr:`downgrade` whenever the static proof failed.
     """
 
-    __slots__ = ("filt", "lifted", "mode")
+    __slots__ = ("filt", "lifted", "mode", "trusted", "downgrade", "_allow_trusted")
 
-    def __init__(self, filt) -> None:
+    def __init__(self, filt, allow_trusted: bool = True) -> None:
         self.filt = filt
+        self.trusted = False
+        self.downgrade = None
         hint = getattr(filt, "stateless", None)
         has_portal = any(isinstance(v, Portal) for v in vars(filt).values())
         if hint is False or has_portal or filt.rate.pop < 1:
             self.lifted = None
+            if hint is False:
+                reason = "filter opts out via stateless=False"
+            elif has_portal:
+                reason = "holds a teleport portal (message sender)"
+            else:
+                reason = "sources (pop == 0) are not batch-lifted"
+            self.downgrade = self._make_downgrade((reason,))
         else:
             self.lifted = lift_work(type(filt), trusted=(hint is True))
+            if self.lifted is None:
+                self.downgrade = self._make_downgrade(
+                    ("bytecode screen: work() stores attributes or globals",)
+                )
         self.mode: Optional[str] = None if self.lifted is not None else "loop"
+        self._allow_trusted = bool(allow_trusted) and self.lifted is not None
+
+    def _make_downgrade(self, reasons):
+        try:
+            from repro.analysis.vectorsafety import VectorProof
+
+            return VectorProof(False, tuple(reasons)).diagnostic(self.filt)
+        except Exception:  # pragma: no cover - analysis layer unavailable
+            return None
+
+    def _certify(self) -> bool:
+        """Consult the static vectorization proof; record the outcome.
+
+        Runs at first call — after ``init()`` — so the effects/rate passes
+        see the instance's live attribute values.
+        """
+        try:
+            from repro.analysis import analyze_filter
+
+            analysis = analyze_filter(self.filt, refresh=True)
+        except Exception:  # pragma: no cover - analysis layer unavailable
+            return False
+        proof = analysis.proof
+        if proof.certified:
+            self.downgrade = None
+            return True
+        self.downgrade = proof.diagnostic(self.filt)
+        return False
 
     @property
     def kind(self) -> str:
@@ -432,16 +477,29 @@ class BatchExecutor:
         if n <= 0:
             return
         if self.mode is None:
-            ok = _trial_ok(self.filt, self.lifted, min(n, _TRIAL_FIRINGS))
-            self.mode = "lifted" if ok else "loop"
+            if self._allow_trusted and self._certify():
+                # Statically proven batch-safe: adopt the lifted kernel
+                # with no trial clones.  run_lifted's rate checks and the
+                # demote-on-exception below remain as a runtime safety net.
+                self.trusted = True
+                self.mode = "lifted"
+            else:
+                ok = _trial_ok(self.filt, self.lifted, min(n, _TRIAL_FIRINGS))
+                self.mode = "lifted" if ok else "loop"
         if self.mode == "lifted":
             try:
                 run_lifted(self.filt, self.lifted, n)
                 return
             except Exception:
-                # A kernel that survived the trial can still trip on larger
-                # batches (e.g. data-dependent branches that happened to be
-                # uniform over the trial window).  Real channels are
-                # untouched on failure, so demote and rerun via the loop.
+                # A kernel that survived the trial (or the static proof)
+                # can still trip on larger batches (e.g. data-dependent
+                # branches that happened to be uniform over the trial
+                # window).  Real channels are untouched on failure, so
+                # demote and rerun via the loop.
                 self.mode = "loop"
+                self.trusted = False
+                if self.downgrade is None:
+                    self.downgrade = self._make_downgrade(
+                        ("lifted kernel failed at runtime; demoted to the loop path",)
+                    )
         run_loop(self.filt, n)

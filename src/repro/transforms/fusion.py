@@ -27,6 +27,12 @@ from repro.runtime.channel import Channel
 class FusedFilter(Filter):
     """A single filter executing a chain of filters' steady schedule."""
 
+    #: SL005: work() delegates to child filters resolved at runtime, so the
+    #: static rate checker cannot count its channel operations.  The
+    #: children's own rates are checked individually, and __init__ derives
+    #: the fused rates from them arithmetically.
+    lint_suppress = ("SL005",)
+
     def __init__(self, children: Sequence[Filter], name: Optional[str] = None) -> None:
         children = list(children)
         if not children:

@@ -445,6 +445,64 @@ class TestBatchedEngineDifferential:
         assert interp.engine_used == "batched"
         assert batched == scalar
 
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_certified_filters_take_trusted_path_bit_exact(self, seed):
+        """Differential guard on the static vectorization proof.
+
+        Any filter the analyzer certifies (SL300) must actually run on the
+        trusted lifted path — no trial clones, and never a runtime
+        demotion to loop mode (a demotion would mean the proof was
+        unsound) — while the whole graph stays bit-exact vs scalar.
+        """
+        from repro.analysis import analyze_filter
+
+        gen = np.random.default_rng(seed)
+        data = [float(v) for v in gen.uniform(-4, 4, size=8)]
+        n_stages = int(gen.integers(1, 4))
+        spec_seed = int(gen.integers(0, 2**32))
+
+        def build():
+            g = np.random.default_rng(spec_seed)
+            return Pipeline(
+                ArraySource(data),
+                *[_random_stage(g) for _ in range(n_stages)],
+                CollectSink(),
+            )
+
+        scalar, _ = _run_engine(build, "scalar", 5)
+        batched, interp = _run_engine(build, "batched", 5)
+        assert batched == scalar
+        report = interp.plan.vectorization_report()
+        certified = 0
+        for node in interp.graph.filter_nodes():
+            analysis = analyze_filter(node.filter)
+            info = report.get(node.name)
+            if info is None or info["kind"] == "work_batch":
+                continue
+            if analysis.certified:
+                certified += 1
+                assert info["kind"] != "loop", (
+                    f"{node.name}: certified filter was demoted to loop "
+                    f"mode ({info['code']}: {info['reason']}) — unsound proof"
+                )
+                if info["kind"] == "lifted":
+                    assert info["trusted"], (
+                        f"{node.name}: certified filter took the trial path"
+                    )
+            elif info["kind"] == "lifted":
+                # Uncertified filters may still lift, but only through the
+                # audited trial path, never on trust.
+                assert not info["trusted"], node.name
+        # The generator always emits at least one certifiable stage kind in
+        # most draws; the guard is vacuous only if nothing certified.
+        stateless = [
+            n for n in interp.graph.filter_nodes()
+            if type(n.filter).__name__ in ("_FuzzMap", "_FuzzPeek", "_FuzzRate")
+        ]
+        if stateless:
+            assert certified > 0
+
     def test_fused_chain_bit_exact(self):
         """A deterministic all-SISO pipeline must fuse and stay bit-exact."""
 
