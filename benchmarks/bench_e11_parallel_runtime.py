@@ -1,0 +1,168 @@
+"""E11 — parallel runtime: real multicore throughput vs the batched engine.
+
+Measures end-to-end items/second for the batched (single-process) engine and
+the parallel engine (``engine="parallel"``, software-pipeline mapping) at
+two core counts, and compares the *measured* parallel/batched ratio against
+the *simulated* speedup the machine model predicts for the same strategy at
+the same core count.  Results go to ``BENCH_parallel.json`` at the repo
+root, together with the host's CPU count — the measured column is only
+meaningful relative to it (on a 1-CPU container the parallel engine
+timeslices its workers and cannot beat the batched engine; the simulated
+column shows what the mapping would buy on real cores).
+
+Run standalone (CI's ``parallel-smoke`` job uses ``--smoke``: three small
+apps at ``cores=2`` and tiny period counts, correctness + plumbing only)::
+
+    PYTHONPATH=src python benchmarks/bench_e11_parallel_runtime.py [--smoke]
+"""
+
+import json
+import os
+import sys
+import warnings
+from pathlib import Path
+
+from repro.apps import ALL_APPS
+from repro.bench import measure_throughput
+from repro.errors import EngineDowngradeWarning
+from repro.machine.raw import RawMachine
+from repro.mapping.strategies import STRATEGIES
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_parallel.json"
+
+STRATEGY = "softpipe"
+CORE_COUNTS = (2, 4)
+
+#: (name, periods) — sized so each parallel measurement stays in seconds
+#: even when workers timeslice a single host CPU.
+APPS = (
+    ("BitonicSort", 600),
+    ("ChannelVocoder", 600),
+    ("DCT", 60),
+    ("DES", 40),
+    ("FFT", 150),
+    ("FilterBank", 250),
+    ("FMRadio", 1500),
+    ("Radar", 1000),
+    ("TDE", 150),
+    ("Vocoder", 800),
+)
+
+SMOKE_APPS = ("FMRadio", "FilterBank", "Vocoder")
+
+
+def _measure(build, periods, label, engine, **opts):
+    return max(
+        (
+            measure_throughput(build, periods, label=label, engine=engine, **opts)
+            for _ in range(2)
+        ),
+        key=lambda s: s.items_per_second,
+    )
+
+
+def simulated_speedup(name: str, cores: int) -> float:
+    """The machine model's predicted speedup for this mapping at ``cores``."""
+    return STRATEGIES[STRATEGY](ALL_APPS[name](), RawMachine(n_cores=cores)).speedup
+
+
+def run_bench(smoke: bool = False):
+    apps = [(n, p) for n, p in APPS if not smoke or n in SMOKE_APPS]
+    core_counts = (2,) if smoke else CORE_COUNTS
+    periods_scale = 0.05 if smoke else 1.0
+    table = {
+        "strategy": STRATEGY,
+        "host_cpus": os.cpu_count(),
+        "core_counts": list(core_counts),
+        "apps": {},
+    }
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", EngineDowngradeWarning)
+        for name, periods in apps:
+            build = ALL_APPS[name]
+            periods = max(1, int(periods * periods_scale))
+            batched = _measure(build, periods, f"{name}/batched", "batched")
+            row = {
+                "periods": periods,
+                "batched_items_per_sec": batched.items_per_second,
+                "parallel": {},
+            }
+            for cores in core_counts:
+                par = _measure(
+                    build,
+                    periods,
+                    f"{name}/parallel@{cores}",
+                    "parallel",
+                    strategy=STRATEGY,
+                    cores=cores,
+                )
+                measured = par.items_per_second / batched.items_per_second
+                row["parallel"][str(cores)] = {
+                    "items_per_sec": par.items_per_second,
+                    "measured_speedup_vs_batched": measured,
+                    "simulated_speedup": simulated_speedup(name, cores),
+                }
+            table["apps"][name] = row
+    wins = sum(
+        1
+        for row in table["apps"].values()
+        if row["parallel"]
+        .get(str(core_counts[-1]), {})
+        .get("measured_speedup_vs_batched", 0.0)
+        > 1.0
+    )
+    table["parallel_wins_at_max_cores"] = wins
+    return table
+
+
+def render(table) -> str:
+    cores = table["core_counts"]
+    lines = [
+        "== E11: parallel runtime — batched vs parallel "
+        f"({table['strategy']}, host has {table['host_cpus']} CPU(s)) ==",
+        f"{'Benchmark':16s}{'batched it/s':>13s}"
+        + "".join(f"{f'par@{c} it/s':>13s}{f'meas@{c}':>9s}{f'sim@{c}':>8s}" for c in cores),
+    ]
+    for name, row in table["apps"].items():
+        cells = ""
+        for c in cores:
+            p = row["parallel"][str(c)]
+            cells += (
+                f"{p['items_per_sec']:13.0f}"
+                f"{p['measured_speedup_vs_batched']:8.2f}x"
+                f"{p['simulated_speedup']:7.2f}x"
+            )
+        lines.append(f"{name:16s}{row['batched_items_per_sec']:13.0f}{cells}")
+    lines.append(
+        f"parallel > batched at {cores[-1]} cores: "
+        f"{table['parallel_wins_at_max_cores']}/{len(table['apps'])} apps"
+    )
+    return "\n".join(lines)
+
+
+def _check(table) -> None:
+    assert len(table["apps"]) >= 8, "need >=8 apps in the parallel bench"
+    for name, row in table["apps"].items():
+        assert row["batched_items_per_sec"] > 0, name
+        for cores in table["core_counts"]:
+            cell = row["parallel"][str(cores)]
+            assert cell["items_per_sec"] > 0, f"{name}@{cores}"
+            assert cell["simulated_speedup"] >= 1.0, f"{name}@{cores}"
+
+
+def test_e11_parallel_runtime(report):
+    table = run_bench()
+    report(render(table))
+    RESULT_PATH.write_text(json.dumps(table, indent=2) + "\n")
+    _check(table)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    table = run_bench(smoke=smoke)
+    print(render(table))
+    if not smoke:
+        _check(table)
+    RESULT_PATH.write_text(json.dumps(table, indent=2) + "\n")
+    print(f"\nwrote {RESULT_PATH}")

@@ -4,13 +4,20 @@ Maps three representative applications onto the simulated 16-core Raw-like
 machine with every strategy, printing the speedup bars and showing why
 coarse-grained data parallelism plus software pipelining wins.
 
-Run with:  python examples/multicore_mapping.py [--engine {scalar,batched}]
+Run with:  python examples/multicore_mapping.py [--engine {scalar,batched,parallel}]
+           [--cores N]
+
+``--engine parallel`` runs each reference execution on real OS cores with
+the software-pipeline mapping (graphs the parallel engine refuses fall
+back to batched with an SL304 warning).
 """
 
 import argparse
 import time
+import warnings
 
 from repro.apps import dct, filterbank, radar
+from repro.errors import EngineDowngradeWarning
 from repro.estimate import characterize
 from repro.machine import RawMachine
 from repro.mapping import STRATEGIES
@@ -27,9 +34,15 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--engine",
-        choices=("scalar", "batched"),
+        choices=("scalar", "batched", "parallel"),
         default="scalar",
         help="execution engine used for the reference run of each app",
+    )
+    parser.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        help="worker count for --engine parallel (default: host CPUs, min 2)",
     )
     args = parser.parse_args()
     machine = RawMachine()
@@ -46,13 +59,23 @@ def main() -> None:
             row.append(result.speedup)
         print(f"{name:12s}" + "".join(f"{v:14.2f}" for v in row))
 
+    engine_opts = {}
+    if args.engine == "parallel":
+        engine_opts["strategy"] = "softpipe"
+        if args.cores is not None:
+            engine_opts["cores"] = args.cores
     print(f"\nreference execution ({args.engine} engine, 50 periods):")
     for name, builder in APPS.items():
         app = builder()
-        interp = Interpreter(app, check=False, engine=args.engine)
-        start = time.perf_counter()
-        interp.run(periods=50)
-        elapsed = time.perf_counter() - start
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", EngineDowngradeWarning)
+            interp = Interpreter(app, check=False, engine=args.engine, **engine_opts)
+        try:
+            start = time.perf_counter()
+            interp.run(periods=50)
+            elapsed = time.perf_counter() - start
+        finally:
+            interp.close()
         print(f"  {name:12s} {elapsed * 1000:8.1f} ms ({interp.engine_used} engine)")
 
     print("\nwhy: benchmark characteristics")

@@ -64,6 +64,7 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "SL301": (Severity.INFO, "not-vectorizable"),
     "SL302": (Severity.WARNING, "engine-scalar-fallback"),
     "SL303": (Severity.WARNING, "superbatch-degraded"),
+    "SL304": (Severity.WARNING, "engine-parallel-fallback"),
 }
 
 

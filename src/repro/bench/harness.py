@@ -85,16 +85,25 @@ def measure_throughput(
     label: str = "",
     warmup_periods: int = 2,
     engine: str = "scalar",
+    **engine_opts,
 ) -> ThroughputSample:
-    """Wall-clock items/second of a closed stream over ``periods`` periods."""
+    """Wall-clock items/second of a closed stream over ``periods`` periods.
+
+    Extra ``engine_opts`` (``strategy=...``, ``cores=...``) pass through to
+    the :class:`Interpreter`; the warmup also absorbs one-time engine setup
+    (plan compilation, parallel worker forking).
+    """
     app = builder()
     sink = next(f for f in app.filters() if isinstance(f, CollectSink))
-    interp = Interpreter(app, check=False, engine=engine)
-    interp.run(periods=warmup_periods)
-    produced_before = len(sink.collected)
-    start = time.perf_counter()
-    interp.run_steady(periods)
-    elapsed = time.perf_counter() - start
+    interp = Interpreter(app, check=False, engine=engine, **engine_opts)
+    try:
+        interp.run(periods=warmup_periods)
+        produced_before = len(sink.collected)
+        start = time.perf_counter()
+        interp.run_steady(periods)
+        elapsed = time.perf_counter() - start
+    finally:
+        interp.close()
     outputs = len(sink.collected) - produced_before
     return ThroughputSample(
         label=label,

@@ -38,6 +38,11 @@ class ModelActor:
     io: bool = False
     #: The FlatNode this actor came from (None for transform-made actors).
     origin: object = None
+    #: Every FlatNode this actor stands for, carried through contraction and
+    #: fission so a mapped model can be projected back onto the flat graph
+    #: (the parallel runtime's partition).  Transform-made helper actors
+    #: (scatter/gather routers, replicas past #0) have no members.
+    members: Tuple[object, ...] = ()
     uid: int = field(default_factory=lambda: next(_actor_ids))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -85,6 +90,7 @@ class ModelGraph:
                     peeking=filt.rate.extra_peek > 0,
                     io=io,
                     origin=node,
+                    members=(node,),
                 )
             else:
                 actors[node] = ModelActor(
@@ -92,6 +98,7 @@ class ModelGraph:
                     work=node_work(node) * reps[node],
                     router=True,
                     origin=node,
+                    members=(node,),
                 )
         edges = [
             ModelEdge(
@@ -159,6 +166,7 @@ class ModelGraph:
             peeking=a.peeking or b.peeking,
             router=a.router and b.router,
             io=False,
+            members=a.members + b.members,
         )
         new_edges: List[ModelEdge] = []
         for e in self.edges:
@@ -187,12 +195,16 @@ class ModelGraph:
         out_edges = self.out_edges(actor)
         in_words = sum(e.words for e in in_edges)
         out_words = sum(e.words for e in out_edges)
+        # Replica #0 inherits the membership: a runtime that cannot split
+        # firings of one filter across processes collapses the fission onto
+        # replica #0's core (the simulator still models all k).
         replicas = [
             ModelActor(
                 name=f"{actor.name}#{i}",
                 work=actor.work / k,
                 stateful=False,
                 peeking=actor.peeking,
+                members=actor.members if i == 0 else (),
             )
             for i in range(k)
         ]
@@ -229,7 +241,10 @@ class ModelGraph:
     def copy(self) -> "ModelGraph":
         """A structural copy sharing no mutable containers with the original."""
         mapping = {
-            a: ModelActor(a.name, a.work, a.stateful, a.peeking, a.router, a.io, a.origin)
+            a: ModelActor(
+                a.name, a.work, a.stateful, a.peeking, a.router, a.io, a.origin,
+                a.members,
+            )
             for a in self.actors
         }
         return ModelGraph(

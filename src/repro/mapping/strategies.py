@@ -207,6 +207,156 @@ STRATEGIES: Dict[str, Callable[..., StrategyResult]] = {
 }
 
 
+# ---------------------------------------------------------------------------
+# Flat-graph partitions for the parallel runtime
+# ---------------------------------------------------------------------------
+
+
+def _strongly_connected(graph) -> List[List[FlatNode]]:
+    """Strongly connected components of the flat graph (all edges, delayed
+    included) — iterative Tarjan, smallest-index order."""
+    index: Dict[FlatNode, int] = {}
+    low: Dict[FlatNode, int] = {}
+    on_stack: Dict[FlatNode, bool] = {}
+    stack: List[FlatNode] = []
+    sccs: List[List[FlatNode]] = []
+    counter = [0]
+
+    for root in graph.nodes:
+        if root in index:
+            continue
+        work = [(root, iter(root.out_edges))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, edges = work[-1]
+            advanced = False
+            for edge in edges:
+                child = edge.dst
+                if child not in index:
+                    index[child] = low[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack[child] = True
+                    work.append((child, iter(child.out_edges)))
+                    advanced = True
+                    break
+                if on_stack.get(child):
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                comp = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    comp.append(member)
+                    if member is node:
+                        break
+                sccs.append(comp)
+    return sccs
+
+
+def _strategy_model_assignment(strategy: str, base: ModelGraph, n_cores: int):
+    """Replicate a strategy's model transform + core assignment (no sim)."""
+    model = base.copy()
+    if strategy == "fine_grained":
+        for actor in list(model.actors):
+            if actor.io or actor.router or actor.stateful:
+                continue
+            model.fiss(actor, n_cores)
+        assignment: Dict[ModelActor, int] = {}
+        cursor = 0
+        for actor in model.compute_actors():
+            if "#" in actor.name:
+                assignment[actor] = int(actor.name.rsplit("#", 1)[1]) % n_cores
+            else:
+                assignment[actor] = cursor % n_cores
+                cursor += 1
+    elif strategy == "data":
+        model = judicious_fission(coarsen_stateless(model), n_cores)
+        assignment = lpt_assign(model, n_cores)
+    elif strategy == "softpipe":
+        model = selective_fusion(model, 2 * n_cores)
+        assignment = lpt_assign(model, n_cores)
+    elif strategy == "combined":
+        model = judicious_fission(coarsen_stateless(model), n_cores)
+        model = selective_fusion(model, 2 * n_cores, protect_replicas=True)
+        assignment = lpt_assign(model, n_cores)
+    elif strategy == "space":
+        model = selective_fusion(model, n_cores)
+        actors = sorted(model.compute_actors(), key=lambda a: -a.work)
+        assignment = {actor: i % n_cores for i, actor in enumerate(actors)}
+    else:
+        raise MachineError(f"unknown mapping strategy {strategy!r}")
+    return model, assignment
+
+
+def partition_nodes(stream, graph, reps, strategy: str, n_cores: int):
+    """Project a mapping strategy onto the live flat graph.
+
+    Returns ``{FlatNode: core}`` over the *compute* nodes (filters with both
+    rates nonzero, splitters, joiners).  I/O endpoints — sources and sinks —
+    are left out: the parallel runtime keeps them on the parent process,
+    mirroring the paper's off-chip I/O convention (``compute_actors``).
+
+    Two runtime legality fixups are applied to the model assignment:
+
+    * fission replicas collapse onto replica #0's core (one process owns a
+      filter instance's firings; the simulator still models all replicas);
+    * every strongly connected component (feedback loop) is co-located on
+      the component's majority core, so no cycle crosses a blocking ring
+      boundary (which could deadlock).
+    """
+    if strategy not in STRATEGIES:
+        raise MachineError(
+            f"unknown mapping strategy {strategy!r}; expected one of "
+            f"{tuple(STRATEGIES)}"
+        )
+    base = ModelGraph.from_flatgraph(graph, reps)
+    io_nodes = {a.origin for a in base.actors if a.io}
+    part: Dict[FlatNode, int] = {}
+    if strategy == "task":
+        cores = _task_parallel_cores(stream, n_cores)
+        for node in graph.nodes:
+            if node in io_nodes:
+                continue
+            owner = node.obj
+            uid = owner.uid if owner is not None else None
+            if uid is None or uid not in cores:
+                raise MachineError(f"no task-parallel core for node {node.name}")
+            part[node] = cores[uid]
+    else:
+        _model, assignment = _strategy_model_assignment(strategy, base, n_cores)
+        for actor, core in assignment.items():
+            for node in actor.members:
+                if node not in io_nodes:
+                    part[node] = core
+        for node in graph.nodes:
+            if node in io_nodes or node in part:
+                continue
+            part[node] = 0
+    # Co-locate feedback cycles: a cycle split across workers would have
+    # both sides blocked waiting for the other's ring.
+    for scc in _strongly_connected(graph):
+        members = [n for n in scc if n in part]
+        if len(members) < 2:
+            continue
+        votes: Dict[int, int] = {}
+        for node in members:
+            votes[part[node]] = votes.get(part[node], 0) + 1
+        target = max(sorted(votes), key=lambda c: votes[c])
+        for node in members:
+            part[node] = target
+    return part
+
+
 def evaluate_all(
     stream_builder: Callable[[], Stream],
     machine: RawMachine = RawMachine(),

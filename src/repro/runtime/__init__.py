@@ -11,6 +11,8 @@ from repro.runtime.plan import (
     compile_and_run,
     plan_cache_stats,
 )
+from repro.runtime.parallel import ParallelSession, ParallelUnsafe
+from repro.runtime.ring import RingAbort, RingArena, RingChannel, RingStall
 from repro.runtime.vectorize import BatchExecutor
 
 __all__ = [
@@ -22,6 +24,12 @@ __all__ = [
     "EngineDowngradeWarning",
     "ExecutionPlan",
     "Interpreter",
+    "ParallelSession",
+    "ParallelUnsafe",
+    "RingAbort",
+    "RingArena",
+    "RingChannel",
+    "RingStall",
     "clear_plan_cache",
     "compile_and_run",
     "plan_cache_stats",

@@ -177,3 +177,12 @@ class ArrayChannel:
             )
         self._head += count
         self.popped_count += count
+
+    def detach_all(self) -> List[float]:
+        """Remove and return every live item *without* touching the history
+        counters — a custody transfer to a scratch tape (the items were
+        already counted when pushed, and the tape's consumer will be
+        accounted for in bulk by its owner)."""
+        items = self._buf[self._head : self._tail].tolist()
+        self._head = self._tail = 0
+        return items

@@ -24,6 +24,12 @@ engines"):
   reported via :class:`~repro.errors.EngineDowngradeWarning` (or raises
   with ``strict=True``).  Check :attr:`Interpreter.engine_used` to see
   which engine actually ran.
+* ``engine="parallel"`` — a :class:`~repro.runtime.parallel.ParallelSession`
+  runs the batched executors across forked worker processes, one per core
+  a mapping strategy assigns work to, with shared-memory ring buffers on
+  cross-worker edges.  Graphs the parallel engine cannot run safely
+  (teleport portals, dynamic-rate filters, degenerate partitions)
+  downgrade to ``engine="batched"`` with an ``SL304`` diagnostic.
 """
 
 from __future__ import annotations
@@ -44,7 +50,7 @@ from repro.scheduling.sdep import WavefrontOracle
 from repro.scheduling.steady import ProgramSchedule, build_schedule
 
 #: Valid values for ``Interpreter(engine=...)``.
-ENGINES = ("scalar", "batched")
+ENGINES = ("scalar", "batched", "parallel")
 
 
 class Interpreter:
@@ -53,13 +59,20 @@ class Interpreter:
     Args:
         stream: the top-level (closed) stream to run.
         check: run full semantic validation before executing.
-        engine: ``"scalar"`` (reference, one ``work()`` per firing) or
+        engine: ``"scalar"`` (reference, one ``work()`` per firing),
             ``"batched"`` (compiled plan over array channels; teleport
-            portals run batched period-at-a-time).
-        strict: with ``engine="batched"``, raise :class:`StreamItError`
-            instead of emitting :class:`EngineDowngradeWarning` when the
-            request cannot be honoured in full (scalar fallback or loss of
-            superbatching).
+            portals run batched period-at-a-time), or ``"parallel"``
+            (batched executors across forked worker processes; see
+            :mod:`repro.runtime.parallel`).
+        strict: with ``engine="batched"`` or ``engine="parallel"``, raise
+            :class:`StreamItError` instead of emitting
+            :class:`EngineDowngradeWarning` when the request cannot be
+            honoured in full (engine fallback or loss of superbatching).
+        strategy: with ``engine="parallel"``, the mapping strategy whose
+            partition decides worker placement (a key of
+            :data:`repro.mapping.strategies.STRATEGIES`).
+        cores: with ``engine="parallel"``, how many cores the strategy maps
+            to (defaults to the machine's CPU count, at least 2).
 
     Typical use::
 
@@ -79,11 +92,19 @@ class Interpreter:
         check: bool = True,
         engine: str = "scalar",
         strict: bool = False,
+        strategy: str = "softpipe",
+        cores: Optional[int] = None,
     ) -> None:
         if engine not in ENGINES:
             raise StreamItError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.engine = engine
         self.strict = bool(strict)
+        self.strategy = strategy
+        if cores is None:
+            import os
+
+            cores = max(2, os.cpu_count() or 1)
+        self.cores = int(cores)
         self.stream = stream
         self.graph: FlatGraph = validate(stream) if check else None  # type: ignore
         if self.graph is None:
@@ -99,6 +120,8 @@ class Interpreter:
         self._current_node: Optional[FlatNode] = None
         self._initialized = False
         self.plan: Optional[ExecutionPlan] = None
+        #: Live multicore session when ``engine="parallel"`` is in effect.
+        self.parallel: Optional[Any] = None
         #: Structured engine downgrades (analysis Diagnostics, SL302/SL303).
         self.downgrades: List[Any] = []
         self._setup()
@@ -116,7 +139,20 @@ class Interpreter:
         portals = self._find_portals()
         self._portals = portals
         self.has_messaging = bool(portals)
-        batched = self.engine == "batched"
+        engine = self.engine
+        if engine == "parallel":
+            from repro.runtime.parallel import ParallelSession, ParallelUnsafe
+
+            try:
+                self.parallel = ParallelSession(self, self.strategy, self.cores)
+            except ParallelUnsafe as exc:
+                self._engine_downgrade(
+                    f"parallel execution unavailable: {exc}; falling back to "
+                    "the batched engine",
+                    code="SL304",
+                )
+                engine = "batched"
+        batched = engine == "batched"
         if batched and self.has_messaging and not single_topological_sweep(
             self.graph, self.program.steady
         ):
@@ -127,11 +163,16 @@ class Interpreter:
                 code="SL302",
             )
             batched = False
-        channel_cls = ArrayChannel if batched else Channel
-        for edge in self.graph.edges:
-            self.channels[edge] = channel_cls(
-                name=f"{edge.src.name}->{edge.dst.name}", initial=edge.initial
-            )
+        if self.parallel is not None:
+            # The session decided Ring vs Array per edge when it planned the
+            # partition; adopt its channel map wholesale.
+            self.channels = self.parallel.channels
+        else:
+            channel_cls = ArrayChannel if batched else Channel
+            for edge in self.graph.edges:
+                self.channels[edge] = channel_cls(
+                    name=f"{edge.src.name}->{edge.dst.name}", initial=edge.initial
+                )
         self._owner_token = object()
         for node in self.graph.nodes:
             if node.kind == FILTER:
@@ -142,7 +183,7 @@ class Interpreter:
             self._executors[node] = self._make_executor(node)
         for portal in portals:
             portal.bind(self)
-        if batched:
+        if batched and self.parallel is None:
             self.plan = ExecutionPlan(self)
             if not self.plan.superbatch and not self.has_messaging:
                 self._engine_downgrade(
@@ -169,7 +210,9 @@ class Interpreter:
 
     @property
     def engine_used(self) -> str:
-        """The engine actually executing: ``"batched"`` iff a plan was built."""
+        """The engine actually executing (after any structured downgrade)."""
+        if self.parallel is not None:
+            return "parallel"
         return "batched" if self.plan is not None else "scalar"
 
     def engine_report(self) -> Dict[str, Any]:
@@ -191,6 +234,8 @@ class Interpreter:
         }
         if self.plan is not None:
             report["vectorization"] = self.plan.vectorization_report()
+        if self.parallel is not None:
+            report["parallel"] = self.parallel.layout_report()
         return report
 
     def _find_portals(self) -> List[Portal]:
@@ -393,7 +438,11 @@ class Interpreter:
         self._check_ownership()
         for node in self.graph.filter_nodes():
             node.filter.init()
-        if self.plan is not None:
+        # Workers fork on the first parallel command — i.e. here, after the
+        # init() hooks above, so children inherit initialized filter state.
+        if self.parallel is not None:
+            self.parallel.run_init(self.fired)
+        elif self.plan is not None:
             self.plan.run_init(self.fired)
         else:
             self._execute_phases(list(self.program.init))
@@ -404,6 +453,9 @@ class Interpreter:
         if not self._initialized:
             self.run_init()
         self._check_ownership()
+        if self.parallel is not None:
+            self.parallel.run_steady(self.fired, periods)
+            return
         if self.plan is not None:
             self.plan.run_steady(self.fired, periods)
             return
@@ -415,6 +467,22 @@ class Interpreter:
         """Initialize then run ``periods`` steady-state periods."""
         self.run_init()
         self.run_steady(periods)
+
+    def close(self) -> None:
+        """Release engine resources (parallel workers, shared memory).
+
+        Idempotent and safe on every engine; only the parallel engine holds
+        resources that outlive the interpreter object.
+        """
+        if self.parallel is not None:
+            self.parallel.close()
+
+    def __enter__(self) -> "Interpreter":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     # -- introspection ---------------------------------------------------------
 
@@ -431,9 +499,17 @@ class Interpreter:
 
 
 def run_to_list(
-    stream: Stream, sink, periods: int, check: bool = True, engine: str = "scalar"
+    stream: Stream,
+    sink,
+    periods: int,
+    check: bool = True,
+    engine: str = "scalar",
+    **engine_opts,
 ) -> List[float]:
     """Convenience: run ``periods`` steady periods, return sink's items."""
-    interp = Interpreter(stream, check=check, engine=engine)
-    interp.run(periods)
+    interp = Interpreter(stream, check=check, engine=engine, **engine_opts)
+    try:
+        interp.run(periods)
+    finally:
+        interp.close()
     return list(sink.collected)

@@ -1,0 +1,538 @@
+"""Process-based multicore execution of mapped stream programs.
+
+``Interpreter(engine="parallel", strategy=..., cores=N)`` runs a partition
+produced by the :mod:`repro.mapping.strategies` pipeline on real OS cores:
+
+* :func:`repro.mapping.strategies.partition_nodes` projects the strategy's
+  model transform (coarsen → fiss → fuse → assign) back onto the live flat
+  graph, collapsing fission replicas and co-locating feedback cycles;
+* each used core becomes a **worker process**, forked after ``init()`` hooks
+  so filters are inherited with their initialized state (no pickling —
+  lambdas in reducers and init paths survive);
+* the parent process is **worker 0** and keeps every I/O endpoint (sources,
+  sinks) — mirroring the paper's off-chip I/O convention and keeping
+  ``sink.collected`` observable without result shipping;
+* every graph edge crossing a worker boundary becomes a blocking
+  :class:`~repro.runtime.ring.RingChannel` in one shared-memory
+  :class:`~repro.runtime.ring.RingArena`; intra-worker edges stay ordinary
+  :class:`~repro.runtime.array_channel.ArrayChannel` tapes, so each worker
+  executes the same batched executors as the single-process plan
+  (:func:`repro.runtime.plan.make_node_executor`) over its restricted
+  schedule (:func:`repro.scheduling.steady.restrict_schedule`);
+* a steady-state request runs in batches of :attr:`batch_periods` periods.
+  Task/data-style strategies (``task``, ``fine_grained``, ``data``) use the
+  **dag** discipline — a barrier after every batch, the per-period barrier
+  of the paper's DAG schedules at batch granularity.  Software-pipelined
+  strategies (``softpipe``, ``combined``, ``space``) free-run: the init
+  schedule acts as the pipeline prologue and the ring slack (two batches per
+  edge) realizes the steady-state overlap of the modulo schedule;
+* workers obey a tiny command protocol (init / steady(p) / shutdown) over
+  the arena header plus start/finish barriers, report failures through an
+  error queue tagged with the firing filter's instance name, and unblock
+  each other on any failure via the arena-wide abort flag — no orphaned
+  processes, no partial hangs.
+
+Graphs the engine cannot run safely raise :class:`ParallelUnsafe` during
+setup; the interpreter downgrades to ``engine="batched"`` with a structured
+``SL304`` diagnostic instead of erroring.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import threading
+import traceback
+import weakref
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import StreamItError
+from repro.graph.flatgraph import FILTER, FlatNode
+from repro.runtime.array_channel import ArrayChannel
+from repro.runtime.plan import make_node_executor
+from repro.runtime.ring import RingAbort, RingArena, RingChannel, RingStall
+from repro.scheduling.steady import Schedule, restrict_schedule
+
+#: Command codes written to the arena header by the parent.
+_CMD_INIT, _CMD_STEADY, _CMD_SHUTDOWN = 1, 2, 3
+
+#: Target items per cross-worker edge per batch (sizes batch_periods).
+_BATCH_TARGET_ITEMS = 1 << 14
+#: Upper bound on periods per batch.
+_BATCH_MAX_PERIODS = 512
+#: Seconds a barrier wait may block before the session is declared dead.
+_BARRIER_TIMEOUT = 300.0
+
+#: Strategies executed under the per-batch-barrier (DAG) discipline; the
+#: rest are software-pipelined (free-running, ring slack = overlap).
+_DAG_STRATEGIES = frozenset({"task", "fine_grained", "data"})
+
+
+def _release_arena(arena: RingArena, rings: List[RingChannel]) -> None:
+    """Detach every ring view, then close + unlink the shared segment.
+
+    Shared between :meth:`ParallelSession.close` and the GC finalizer, so
+    it must not reference the session itself.
+    """
+    for chan in rings:
+        chan.detach()
+    arena.release(True)
+
+
+class ParallelUnsafe(Exception):
+    """Setup-time verdict: this graph/strategy cannot run in parallel.
+
+    The interpreter catches this and downgrades to the batched engine with
+    an ``SL304`` diagnostic — it is a structured refusal, not an error.
+    """
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """One worker's share of the program."""
+
+    wid: int
+    nodes: frozenset
+    init: Schedule
+    steady: Schedule
+    #: The steady restriction is a single topological pass over the
+    #: worker-internal edges, so ``scale`` batched periods may run as one
+    #: pass with every firing count multiplied (the superbatch argument).
+    scale_ok: bool
+
+
+def _restriction_scale_ok(nodes: frozenset, steady: Schedule) -> bool:
+    position: Dict[FlatNode, int] = {}
+    for i, (node, _count) in enumerate(steady):
+        if node in position:
+            return False
+        position[node] = i
+    for node in nodes:
+        for edge in node.out_edges:
+            if edge.src in position and edge.dst in position:
+                if position[edge.src] > position[edge.dst]:
+                    return False
+    return True
+
+
+class ParallelSession:
+    """The live multicore execution of one interpreter's program.
+
+    Everything structural (partition, specs, ring layout) is decided in the
+    constructor — before channels exist — so the interpreter can allocate
+    the mixed Ring/Array channel map and bind filters exactly as it does
+    for the other engines.  Workers fork lazily on the first command, which
+    is always after ``init()`` hooks have run.
+    """
+
+    def __init__(self, interp, strategy: str, cores: int) -> None:
+        self.interp = interp
+        self.strategy = strategy
+        self.cores = int(cores)
+        self.discipline = "dag" if strategy in _DAG_STRATEGIES else "pipelined"
+        graph, program = interp.graph, interp.program
+
+        if interp.has_messaging:
+            raise ParallelUnsafe(
+                "teleport portals would cross worker boundaries (message "
+                "delivery is per-firing and process-local)"
+            )
+        if self.cores < 2:
+            raise ParallelUnsafe(f"cores={self.cores} leaves nothing to parallelize")
+        self._check_static_rates(graph)
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platform
+            raise ParallelUnsafe(f"fork start method unavailable: {exc}")
+
+        from repro.mapping.strategies import partition_nodes
+
+        try:
+            part = partition_nodes(
+                interp.stream, graph, program.reps, strategy, self.cores
+            )
+        except Exception as exc:
+            raise ParallelUnsafe(f"strategy {strategy!r} cannot map this graph: {exc}")
+        used = sorted(set(part.values()))
+        if len(used) < 2:
+            raise ParallelUnsafe(
+                f"strategy {strategy!r} places all compute on one core"
+            )
+        wid_of_core = {core: i + 1 for i, core in enumerate(used)}
+        self.node_wid: Dict[FlatNode, int] = {
+            node: wid_of_core.get(part.get(node), 0) if node in part else 0
+            for node in graph.nodes
+        }
+        self.n_workers = 1 + len(used)
+
+        cross = [
+            e for e in graph.edges if self.node_wid[e.src] != self.node_wid[e.dst]
+        ]
+        if not cross:  # pragma: no cover - disconnected graphs don't validate
+            raise ParallelUnsafe("partition has no cross-worker traffic")
+        items_per_period = {e: program.reps[e.src] * e.push_rate for e in cross}
+        heaviest = max(items_per_period.values())
+        self.batch_periods = max(
+            1, min(_BATCH_MAX_PERIODS, _BATCH_TARGET_ITEMS // max(1, heaviest))
+        )
+
+        # One arena segment for every cross edge: capacity covers the init
+        # peak (buffer_bounds) plus two full batches of slack, so a producer
+        # can run a whole batch ahead without blocking mid-phase.
+        self._arena = RingArena(
+            [
+                program.buffer_bounds[e]
+                + 2 * self.batch_periods * items_per_period[e]
+                + 64
+                for e in cross
+            ]
+        )
+        self.channels: Dict[object, object] = {}
+        for i, edge in enumerate(cross):
+            self.channels[edge] = self._arena.ring(
+                i,
+                name=f"{edge.src.name}->{edge.dst.name}",
+                initial=edge.initial,
+            )
+        for edge in graph.edges:
+            if edge not in self.channels:
+                self.channels[edge] = ArrayChannel(
+                    name=f"{edge.src.name}->{edge.dst.name}", initial=edge.initial
+                )
+        self.ring_edges = list(cross)
+
+        self.specs: List[WorkerSpec] = []
+        for wid in range(self.n_workers):
+            nodes = frozenset(
+                n for n in graph.nodes if self.node_wid[n] == wid
+            )
+            init = restrict_schedule(program.init, nodes)
+            steady = restrict_schedule(program.steady, nodes)
+            self.specs.append(
+                WorkerSpec(
+                    wid=wid,
+                    nodes=nodes,
+                    init=init,
+                    steady=steady,
+                    scale_ok=_restriction_scale_ok(nodes, steady),
+                )
+            )
+        # Monolithic scaling (fire count*scale per phase) is safe only when
+        # EVERY worker's restriction is a single topological sweep: then each
+        # node fires once, globally contiguously, in dependency order, and
+        # the ring slack (a full batch per edge) lets every batch complete.
+        # One per-period worker breaks that — a feedback worker produces its
+        # cross-edge items interleaved, so a monolithic peer demanding its
+        # whole batch up front deadlocks against it (DToA's interp stage).
+        # Per-period execution everywhere mirrors the global schedule's
+        # granularity, which is deadlock-free by construction.
+        self.monolithic = all(spec.scale_ok for spec in self.specs)
+
+        self._header = self._arena._header
+        self._start_barrier = self._ctx.Barrier(self.n_workers)
+        self._finish_barrier = self._ctx.Barrier(self.n_workers)
+        self._step_barrier = self._ctx.Barrier(self.n_workers)
+        self._errors = self._ctx.SimpleQueue()
+        self._procs: List[multiprocessing.Process] = []
+        self._exec_cache: Dict[FlatNode, Tuple] = {}
+        self._started = False
+        self._failed = False
+        self._closed = False
+        # Safety net: release the shared segment even if close() is never
+        # called (the callback references the arena and rings, never the
+        # session, so it cannot keep the session alive).
+        self._finalizer = weakref.finalize(
+            self,
+            _release_arena,
+            self._arena,
+            [self.channels[e] for e in self.ring_edges],
+        )
+
+    # -- setup checks ---------------------------------------------------------
+
+    @staticmethod
+    def _check_static_rates(graph) -> None:
+        """Refuse filters whose I/O rates the analyzer cannot pin down.
+
+        A dynamic-rate filter would fire a data-dependent number of items;
+        the ring capacities and restricted schedules are sized from the
+        declared static rates, so such a filter could deadlock a worker.
+        """
+        try:
+            from repro.analysis import analyze_filter
+        except Exception:  # pragma: no cover - analysis layer unavailable
+            return
+        for node in graph.filter_nodes():
+            try:
+                rates = analyze_filter(node.filter).rates
+            except Exception:  # pragma: no cover - analyzer crash
+                continue
+            if rates is not None and rates.dynamic:
+                raise ParallelUnsafe(
+                    f"filter {node.name!r} has dynamic rates "
+                    f"({'; '.join(rates.dynamic)})"
+                )
+
+    # -- worker body (both the parent-as-worker-0 and forked children) --------
+
+    def _executor(self, node: FlatNode):
+        entry = self._exec_cache.get(node)
+        if entry is None:
+            entry = make_node_executor(node, self.channels)
+            self._exec_cache[node] = entry
+        return entry[0]
+
+    def _fire(self, node: FlatNode, n: int) -> None:
+        fire = self._executor(node)
+        # Block until every ring input can satisfy the whole call: batched
+        # filter executors snapshot their input window up front, so the
+        # items must exist before fire() runs (splitters/joiners and
+        # push-side waits block naturally inside the ring ops).
+        if node.kind == FILTER:
+            extra = node.peek_extra
+            for edge in node.in_edges:
+                chan = self.channels[edge]
+                if isinstance(chan, RingChannel) and edge.pop_rate:
+                    chan.wait_items(n * edge.pop_rate + extra)
+        try:
+            fire(n)
+        except (RingAbort, RingStall):
+            raise
+        except BaseException as exc:
+            exc._stream_node = node.name
+            raise
+
+    def _exec_schedule(self, schedule: Schedule, scale: int) -> None:
+        phases = schedule.phases
+        if not phases:
+            return
+        if scale == 1 or self.monolithic:
+            for node, count in phases:
+                self._fire(node, count * scale)
+        else:
+            for _ in range(scale):
+                for node, count in phases:
+                    self._fire(node, count)
+
+    def _run_periods(self, spec: WorkerSpec, periods: int) -> None:
+        left = periods
+        batch = self.batch_periods
+        dag = self.discipline == "dag"
+        while left > 0:
+            scale = min(batch, left)
+            self._exec_schedule(spec.steady, scale)
+            left -= scale
+            if dag:
+                self._step_barrier.wait(_BARRIER_TIMEOUT)
+
+    def _abort_barriers(self) -> None:
+        for barrier in (self._start_barrier, self._finish_barrier, self._step_barrier):
+            try:
+                barrier.abort()
+            except Exception:  # pragma: no cover - already broken
+                pass
+
+    def _worker_loop(self, wid: int) -> None:
+        # The parent owns interrupt handling; workers end via the protocol
+        # (shutdown command, broken barrier, or the abort flag).
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        try:
+            self._worker_body(wid)
+        finally:
+            # Drop this process's shared-memory views before interpreter
+            # shutdown GCs the SharedMemory object (a pinned view would turn
+            # its close() into BufferError noise).  Never unlink here — the
+            # segment belongs to the parent.
+            self._header = None
+            for edge in self.ring_edges:
+                self.channels[edge].detach()
+            self._arena.release(unlink=False)
+
+    def _worker_body(self, wid: int) -> None:
+        self._exec_cache = {}
+        spec = self.specs[wid]
+        header = self._header
+        while True:
+            try:
+                self._start_barrier.wait()
+            except threading.BrokenBarrierError:
+                return
+            cmd = int(header[1])
+            if cmd == _CMD_SHUTDOWN:
+                return
+            try:
+                if cmd == _CMD_INIT:
+                    self._exec_schedule(spec.init, 1)
+                else:
+                    self._run_periods(spec, int(header[2]))
+            except RingAbort:
+                # A peer failed first; it owns the error report.
+                return
+            except threading.BrokenBarrierError:
+                return
+            except BaseException as exc:
+                self._arena.abort()
+                self._abort_barriers()
+                try:
+                    self._errors.put(
+                        (
+                            wid,
+                            getattr(exc, "_stream_node", None),
+                            traceback.format_exc(),
+                        )
+                    )
+                except Exception:  # pragma: no cover - queue torn down
+                    pass
+                return
+            try:
+                self._finish_barrier.wait()
+            except threading.BrokenBarrierError:
+                return
+
+    # -- parent-side protocol --------------------------------------------------
+
+    def _start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for wid in range(1, self.n_workers):
+            proc = self._ctx.Process(
+                target=self._worker_loop,
+                args=(wid,),
+                daemon=True,
+                name=f"repro-parallel-w{wid}",
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    def _run_command(self, cmd: int, periods: int = 0) -> None:
+        if self._closed or self._failed:
+            raise StreamItError(
+                "parallel session is closed; build a fresh Interpreter"
+            )
+        self._start()
+        self._header[1] = cmd
+        self._header[2] = periods
+        spec = self.specs[0]
+        try:
+            self._start_barrier.wait(_BARRIER_TIMEOUT)
+            if cmd == _CMD_INIT:
+                self._exec_schedule(spec.init, 1)
+            else:
+                self._run_periods(spec, periods)
+            self._finish_barrier.wait(_BARRIER_TIMEOUT)
+        except BaseException as exc:
+            self._fail(exc)
+
+    def _fail(self, cause: BaseException) -> None:
+        """Tear the session down after any mid-run failure and re-raise the
+        most informative error (a worker's reported failure wins over the
+        parent's secondary Ring/Barrier symptom)."""
+        self._failed = True
+        self._arena.abort()
+        self._abort_barriers()
+        reports = []
+        for proc in self._procs:
+            proc.join(timeout=10)
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=10)
+        while not self._errors.empty():
+            reports.append(self._errors.get())
+        self.close()
+        if reports:
+            wid, node_name, tb = reports[0]
+            where = f" in filter {node_name!r}" if node_name else ""
+            raise StreamItError(
+                f"parallel worker {wid} failed{where}:\n{tb}"
+            ) from cause
+        if isinstance(cause, (RingAbort, RingStall, threading.BrokenBarrierError)):
+            dead = [p.name for p in self._procs if p.exitcode not in (0, None)]
+            raise StreamItError(
+                "parallel session aborted"
+                + (f"; dead workers: {dead}" if dead else "")
+            ) from cause
+        node_name = getattr(cause, "_stream_node", None)
+        if node_name is not None and not isinstance(cause, KeyboardInterrupt):
+            raise StreamItError(
+                f"parallel worker 0 failed in filter {node_name!r}: {cause}"
+            ) from cause
+        raise cause
+
+    # -- public API ------------------------------------------------------------
+
+    def run_init(self, fired: Dict[FlatNode, int]) -> None:
+        self._run_command(_CMD_INIT)
+        for node, count in self.interp.program.init:
+            fired[node] += count
+
+    def run_steady(self, fired: Dict[FlatNode, int], periods: int) -> None:
+        if periods <= 0:
+            return
+        self._run_command(_CMD_STEADY, periods)
+        for node, count in self.interp.program.steady:
+            fired[node] += count * periods
+
+    @property
+    def alive_workers(self) -> int:
+        """Live child processes (teardown tests)."""
+        return sum(1 for p in self._procs if p.is_alive())
+
+    def close(self) -> None:
+        """End the session: stop workers, release the shared segment.
+
+        Safe to call at any time (mid-run failure, cancellation, repeated
+        calls); afterwards the interpreter refuses further parallel runs.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            healthy = (
+                self._started
+                and not self._failed
+                and not self._arena.aborted
+                and all(p.is_alive() for p in self._procs)
+            )
+            if healthy:
+                try:
+                    self._header[1] = _CMD_SHUTDOWN
+                    self._start_barrier.wait(timeout=10)
+                except Exception:
+                    self._arena.abort()
+                    self._abort_barriers()
+            else:
+                self._arena.abort()
+                self._abort_barriers()
+            for proc in self._procs:
+                proc.join(timeout=10)
+            for proc in self._procs:
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+                    proc.join(timeout=10)
+        finally:
+            self._procs = [p for p in self._procs if p.is_alive()]
+            # Drop the session's own header view, then detach + release via
+            # the finalizer (which runs exactly once; later calls no-op).
+            self._header = None
+            self._finalizer()
+
+    # -- introspection ---------------------------------------------------------
+
+    def layout_report(self) -> Dict[str, object]:
+        """Worker topology summary (docs, tests, diagnostics)."""
+        return {
+            "strategy": self.strategy,
+            "cores": self.cores,
+            "discipline": self.discipline,
+            "workers": {
+                spec.wid: sorted(n.name for n in spec.nodes)
+                for spec in self.specs
+            },
+            "ring_edges": [
+                f"{e.src.name}->{e.dst.name}" for e in self.ring_edges
+            ],
+            "batch_periods": self.batch_periods,
+        }

@@ -62,11 +62,116 @@ from repro.errors import StreamItError
 from repro.graph.flatgraph import FILTER, JOINER, SPLITTER, FlatGraph, FlatNode
 from repro.graph.splitjoin import COMBINE, DUPLICATE, NULL
 from repro.runtime.array_channel import ArrayChannel
+from repro.runtime.channel import ChannelUnderflow
 from repro.runtime.messaging import Portal
 from repro.runtime.vectorize import BatchExecutor
 
 #: Per-edge item cap for one superbatched chunk (512 KiB of float64).
 _CHUNK_ITEM_CAP = 1 << 16
+
+
+# -- node executors ----------------------------------------------------------
+#
+# Module-level factories so both an ExecutionPlan and the parallel runtime's
+# workers (which execute plan subgraphs over mixed ArrayChannel/RingChannel
+# maps) compile the same batched ``fire(n)`` callables.
+
+
+def make_filter_executor(
+    node: FlatNode, allow_trusted: bool = True
+) -> Tuple[Callable[[int], None], bool]:
+    filt = node.filter
+    if type(filt).supports_work_batch:
+        return filt.work_batch, True
+    # Teleport receivers mutate configuration attributes at delivery
+    # points, so a build-time static proof cannot speak for every batch:
+    # they must earn lifting through the empirical trial instead.
+    return BatchExecutor(filt, allow_trusted=allow_trusted), True
+
+
+def make_splitter_executor(
+    node: FlatNode, channels: Dict[object, object]
+) -> Tuple[Callable[[int], None], bool]:
+    if node.flavor == NULL:
+        return (lambda n: None), True
+    in_chan = channels[node.in_edges[0]]
+    outs = [channels[e] for e in node.out_edges]
+    if node.flavor == DUPLICATE:
+
+        def fire_duplicate(n: int) -> None:
+            block = in_chan.pop_block(n)
+            for chan in outs:
+                chan.push_block(block)
+
+        return fire_duplicate, True
+
+    weights = [node.out_rates[e.src_port] for e in node.out_edges]
+    total = node.in_rates[0]
+
+    def fire_roundrobin(n: int) -> None:
+        cycles = in_chan.pop_block(n * total).reshape(n, total)
+        offset = 0
+        for chan, w in zip(outs, weights):
+            if w:
+                chan.push_block(cycles[:, offset : offset + w])
+            offset += w
+
+    return fire_roundrobin, True
+
+
+def make_joiner_executor(
+    node: FlatNode, channels: Dict[object, object]
+) -> Tuple[Callable[[int], None], bool]:
+    if node.flavor == NULL:
+        return (lambda n: None), True
+    out_chan = channels[node.out_edges[0]]
+    ins = [channels[e] for e in node.in_edges]
+    if node.flavor == COMBINE:
+        reducer = getattr(getattr(node.obj, "joiner", None), "reducer", None)
+        if reducer is None:
+            # The default reducer keeps the first branch's item.
+            def fire_combine(n: int) -> None:
+                first = ins[0].pop_block(n)
+                for chan in ins[1:]:
+                    chan.drop(n)
+                out_chan.push_block(first)
+
+            return fire_combine, True
+
+        def fire_combine_reduce(n: int) -> None:
+            for _ in range(n):
+                out_chan.push(reducer([chan.pop() for chan in ins]))
+
+        return fire_combine_reduce, False
+
+    weights = [node.in_rates[e.dst_port] for e in node.in_edges]
+    total = node.out_rates[0]
+
+    def fire_roundrobin(n: int) -> None:
+        cycles = np.empty((n, total))
+        offset = 0
+        for chan, w in zip(ins, weights):
+            if w:
+                cycles[:, offset : offset + w] = chan.pop_block(n * w).reshape(n, w)
+            offset += w
+        out_chan.push_block(cycles)
+
+    return fire_roundrobin, True
+
+
+def make_node_executor(
+    node: FlatNode,
+    channels: Dict[object, object],
+    allow_trusted: bool = True,
+) -> Tuple[Callable[[int], None], bool]:
+    """Batched ``(fire, batched)`` executor for any node kind."""
+    if node.kind == FILTER:
+        return make_filter_executor(node, allow_trusted)
+    if node.kind == SPLITTER:
+        return make_splitter_executor(node, channels)
+    if node.kind == JOINER:
+        return make_joiner_executor(node, channels)
+    raise StreamItError(f"unknown node kind {node.kind!r}")
 
 
 def single_topological_sweep(graph: FlatGraph, schedule) -> bool:
@@ -238,6 +343,220 @@ class FusedPhase:
             chan.popped_count += items
 
 
+class _LTape:
+    """Plain-list FIFO used inside a :class:`CoreLoopRunner` chunk.
+
+    ``items``/``cursor`` instead of head-sliced lists: a pop is one index
+    increment, a push one ``list.append`` — the cheapest per-item operations
+    CPython offers.  Values stay Python floats, so arithmetic matches the
+    scalar engine bit-for-bit.
+    """
+
+    __slots__ = ("name", "items", "cursor")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.items: List[float] = []
+        self.cursor = 0
+
+    def pop(self) -> float:
+        c = self.cursor
+        if c >= len(self.items):
+            raise ChannelUnderflow(f"pop on empty core tape {self.name!r}")
+        self.cursor = c + 1
+        return self.items[c]
+
+    def peek(self, index: int) -> float:
+        j = self.cursor + index
+        if index < 0 or j >= len(self.items):
+            raise ChannelUnderflow(f"peek({index}) beyond core tape {self.name!r}")
+        return self.items[j]
+
+    def push(self, item: float) -> None:
+        self.items.append(item)
+
+    def compact(self) -> None:
+        if self.cursor:
+            del self.items[: self.cursor]
+            self.cursor = 0
+
+
+class CoreLoopRunner:
+    """Executes a cyclic schedule core over hoisted Python-list tapes.
+
+    The cyclic core of a feedback-interleaved schedule fires each node ~once
+    per period, where block-kernel setup costs more than it saves.  Instead
+    of per-firing ArrayChannel traffic, one ``run(scale)`` call moves all
+    channel I/O to plain lists for the whole chunk:
+
+    * edges internal to the core become persistent :class:`_LTape` scratch
+      tapes (seeded once by detaching the post-init channel contents);
+    * external inputs are snapshot to a list per chunk, and exactly the
+      consumed prefix is dropped from the real channel afterwards;
+    * external outputs accumulate in a list and land as one ``push_block``;
+    * the flattened per-period op sequence — bound ``work`` methods and
+      closure splitters/joiners — runs ``scale`` times in a tight loop.
+
+    Firing order inside a period is exactly the steady schedule's, and every
+    item round-trips through Python floats, so results are bit-identical to
+    the scalar engine.  History counters of bypassed internal edges are
+    bumped in bulk (the :class:`FusedPhase` convention).
+    """
+
+    def __init__(self, phases: Sequence[Tuple[FlatNode, int]], channels) -> None:
+        self.phases: Tuple[Tuple[FlatNode, int], ...] = tuple(phases)
+        self.channels = channels
+        self.nodes = {node for node, _ in self.phases}
+        self._ops: Optional[Tuple[Callable[[], None], ...]] = None
+
+    # -- compilation (lazy: runs after init, when channels hold real state) --
+
+    def _tape_for(self, edge) -> _LTape:
+        tape = self._tapes.get(edge)
+        if tape is None:
+            tape = _LTape(f"core:{edge.src.name}->{edge.dst.name}")
+            self._tapes[edge] = tape
+        return tape
+
+    def _build(self) -> None:
+        self._tapes: Dict[object, _LTape] = {}
+        internal, ext_in, ext_out = [], [], []
+        counts: Dict[FlatNode, int] = {}
+        for node, count in self.phases:
+            counts[node] = counts.get(node, 0) + count
+        seen = set()
+        for node in self.nodes:
+            for edge in list(node.in_edges) + list(node.out_edges):
+                if edge in seen:
+                    continue
+                seen.add(edge)
+                inside_src = edge.src in self.nodes
+                inside_dst = edge.dst in self.nodes
+                if inside_src and inside_dst:
+                    internal.append(edge)
+                elif inside_dst:
+                    ext_in.append(edge)
+                elif inside_src:
+                    ext_out.append(edge)
+        # Internal tapes inherit the live post-init channel contents
+        # (feedback delay items); the channels stay empty from here on,
+        # with their history counters bumped in bulk per chunk.
+        for edge in internal:
+            tape = self._tape_for(edge)
+            tape.items = self.channels[edge].detach_all()
+        self._ext_in = [(self.channels[e], self._tape_for(e)) for e in ext_in]
+        self._ext_out = [(self.channels[e], self._tape_for(e)) for e in ext_out]
+        self._internal = [self._tapes[e] for e in internal]
+        self._bumps = [
+            (self.channels[e], counts[e.src] * e.push_rate) for e in internal
+        ]
+        bind, restore = [], []
+        for node in self.nodes:
+            if node.kind != FILTER:
+                continue
+            filt = node.filter
+            tin = self._tape_for(node.in_edges[0]) if node.in_edges else None
+            tout = self._tape_for(node.out_edges[0]) if node.out_edges else None
+            cin = self.channels[node.in_edges[0]] if node.in_edges else None
+            cout = self.channels[node.out_edges[0]] if node.out_edges else None
+            bind.append((filt, tin, tout))
+            restore.append((filt, cin, cout))
+        self._bind = bind
+        self._restore = restore
+        ops: List[Callable[[], None]] = []
+        for node, count in self.phases:
+            op = self._node_op(node)
+            ops.extend([op] * count)
+        self._ops = tuple(ops)
+
+    def _node_op(self, node: FlatNode) -> Callable[[], None]:
+        if node.kind == FILTER:
+            return node.filter.work
+        if node.flavor == NULL:
+            return lambda: None
+        if node.kind == SPLITTER:
+            tin = self._tape_for(node.in_edges[0])
+            outs = [self._tape_for(e) for e in node.out_edges]
+            if node.flavor == DUPLICATE:
+
+                def fire_duplicate() -> None:
+                    item = tin.pop()
+                    for t in outs:
+                        t.items.append(item)
+
+                return fire_duplicate
+            weights = [node.out_rates[e.src_port] for e in node.out_edges]
+            pairs = [(t, w) for t, w in zip(outs, weights) if w]
+
+            def fire_split() -> None:
+                for t, w in pairs:
+                    if w == 1:
+                        t.items.append(tin.pop())
+                    else:
+                        for _ in range(w):
+                            t.items.append(tin.pop())
+
+            return fire_split
+        # Joiner.
+        tout = self._tape_for(node.out_edges[0])
+        ins = [self._tape_for(e) for e in node.in_edges]
+        if node.flavor == COMBINE:
+            reducer = getattr(getattr(node.obj, "joiner", None), "reducer", None)
+            if reducer is None:
+                reducer = lambda items: items[0]
+
+            def fire_combine() -> None:
+                tout.items.append(reducer([t.pop() for t in ins]))
+
+            return fire_combine
+        weights = [node.in_rates[e.dst_port] for e in node.in_edges]
+        pairs = [(t, w) for t, w in zip(ins, weights) if w]
+
+        def fire_join() -> None:
+            for t, w in pairs:
+                if w == 1:
+                    tout.items.append(t.pop())
+                else:
+                    for _ in range(w):
+                        tout.items.append(t.pop())
+
+        return fire_join
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, scale: int) -> None:
+        if self._ops is None:
+            self._build()
+        for chan, tape in self._ext_in:
+            tape.items = chan.peek_block(len(chan)).tolist()
+            tape.cursor = 0
+        for filt, tin, tout in self._bind:
+            filt.input = tin
+            filt.output = tout
+        try:
+            ops = self._ops
+            for _ in range(scale):
+                for op in ops:
+                    op()
+        finally:
+            for filt, cin, cout in self._restore:
+                filt.input = cin
+                filt.output = cout
+        for chan, tape in self._ext_in:
+            if tape.cursor:
+                chan.drop(tape.cursor)
+        for chan, tape in self._ext_out:
+            if tape.items:
+                chan.push_block(np.asarray(tape.items, dtype=np.float64))
+                tape.items = []
+        for tape in self._internal:
+            tape.compact()
+        for chan, per_period in self._bumps:
+            moved = per_period * scale
+            chan.pushed_count += moved
+            chan.popped_count += moved
+
+
 class ExecutionPlan:
     """The batched engine's compiled form of one interpreter's schedule."""
 
@@ -272,7 +591,9 @@ class ExecutionPlan:
         self.chunk_periods: int = analysis["chunk_periods"]
         self.fusion_ranges: Tuple[Tuple[int, int], ...] = analysis["fusion_ranges"]
         self.steady_phases = self._apply_fusion(steady, self.fusion_ranges)
-        self.segments = self._build_segments(steady, analysis["segments_idx"])
+        self.segments = self._build_segments(
+            steady, analysis["segments_idx"], analysis.get("segmented", False)
+        )
 
     # -- messaging endpoints --------------------------------------------------
 
@@ -303,24 +624,10 @@ class ExecutionPlan:
 
     def _executor(self, node: FlatNode) -> Tuple[Callable[[int], None], bool]:
         if node not in self._executors:
-            if node.kind == FILTER:
-                self._executors[node] = self._filter_executor(node)
-            elif node.kind == SPLITTER:
-                self._executors[node] = self._splitter_executor(node)
-            elif node.kind == JOINER:
-                self._executors[node] = self._joiner_executor(node)
-            else:
-                raise StreamItError(f"unknown node kind {node.kind!r}")
+            self._executors[node] = make_node_executor(
+                node, self.channels, allow_trusted=node not in self._receivers
+            )
         return self._executors[node]
-
-    def _filter_executor(self, node: FlatNode) -> Tuple[Callable[[int], None], bool]:
-        filt = node.filter
-        if type(filt).supports_work_batch:
-            return filt.work_batch, True
-        # Teleport receivers mutate configuration attributes at delivery
-        # points, so a build-time static proof cannot speak for every batch:
-        # they must earn lifting through the empirical trial instead.
-        return BatchExecutor(filt, allow_trusted=node not in self._receivers), True
 
     def vectorization_report(self) -> Dict[str, Dict[str, object]]:
         """Per-filter executor outcome: mode, trust, and downgrade reason.
@@ -349,81 +656,19 @@ class ExecutionPlan:
                 }
         return report
 
-    def _splitter_executor(self, node: FlatNode) -> Tuple[Callable[[int], None], bool]:
-        if node.flavor == NULL:
-            return (lambda n: None), True
-        in_chan = self.channels[node.in_edges[0]]
-        outs = [self.channels[e] for e in node.out_edges]
-        if node.flavor == DUPLICATE:
-
-            def fire_duplicate(n: int) -> None:
-                block = in_chan.pop_block(n)
-                for chan in outs:
-                    chan.push_block(block)
-
-            return fire_duplicate, True
-
-        weights = [node.out_rates[e.src_port] for e in node.out_edges]
-        total = node.in_rates[0]
-
-        def fire_roundrobin(n: int) -> None:
-            cycles = in_chan.pop_block(n * total).reshape(n, total)
-            offset = 0
-            for chan, w in zip(outs, weights):
-                if w:
-                    chan.push_block(cycles[:, offset : offset + w])
-                offset += w
-
-        return fire_roundrobin, True
-
-    def _joiner_executor(self, node: FlatNode) -> Tuple[Callable[[int], None], bool]:
-        if node.flavor == NULL:
-            return (lambda n: None), True
-        out_chan = self.channels[node.out_edges[0]]
-        ins = [self.channels[e] for e in node.in_edges]
-        if node.flavor == COMBINE:
-            reducer = getattr(getattr(node.obj, "joiner", None), "reducer", None)
-            if reducer is None:
-                # The default reducer keeps the first branch's item.
-                def fire_combine(n: int) -> None:
-                    first = ins[0].pop_block(n)
-                    for chan in ins[1:]:
-                        chan.drop(n)
-                    out_chan.push_block(first)
-
-                return fire_combine, True
-
-            def fire_combine_reduce(n: int) -> None:
-                for _ in range(n):
-                    out_chan.push(reducer([chan.pop() for chan in ins]))
-
-            return fire_combine_reduce, False
-
-        weights = [node.in_rates[e.dst_port] for e in node.in_edges]
-        total = node.out_rates[0]
-
-        def fire_roundrobin(n: int) -> None:
-            cycles = np.empty((n, total))
-            offset = 0
-            for chan, w in zip(ins, weights):
-                if w:
-                    cycles[:, offset : offset + w] = chan.pop_block(n * w).reshape(n, w)
-                offset += w
-            out_chan.push_block(cycles)
-
-        return fire_roundrobin, True
-
     # -- analysis -------------------------------------------------------------
 
     def _analyze(self, program, steady: List[CompiledPhase]) -> dict:
         single_sweep = single_topological_sweep(self.graph, program.steady)
         superbatch = single_sweep and not self.messaging
+        segmented = False
         if single_sweep:
             segments_idx = ((), ())
             fusion_ranges = self._fusion_ranges(steady, program.init.counts())
         elif not self.messaging:
             segments_idx = self._segment_sets()
             fusion_ranges = ()
+            segmented = True
         else:
             segments_idx = ((), ())
             fusion_ranges = ()
@@ -434,6 +679,7 @@ class ExecutionPlan:
             if not self.messaging
             else 1,
             "segments_idx": segments_idx,
+            "segmented": segmented,
             "fusion_ranges": fusion_ranges,
         }
 
@@ -481,12 +727,14 @@ class ExecutionPlan:
         self,
         steady: List[CompiledPhase],
         segments_idx: Tuple[Tuple[int, ...], Tuple[int, ...]],
-    ) -> Optional[Tuple[List[CompiledPhase], List[CompiledPhase], List[CompiledPhase]]]:
-        """Materialize ``(prefix, core, suffix)`` phase lists from the cached
-        node-index sets, aggregating each segment node's per-period firings
-        into one phase ordered topologically within the segment."""
+        segmented: bool,
+    ) -> Optional[Tuple[List[CompiledPhase], CoreLoopRunner, List[CompiledPhase]]]:
+        """Materialize ``(prefix, core, suffix)`` from the cached node-index
+        sets: batched phase lists for the feedforward segments (aggregated
+        per-period firings, topologically ordered within the segment), and a
+        :class:`CoreLoopRunner` for the cyclic core."""
         pre_idx, suf_idx = segments_idx
-        if not pre_idx and not suf_idx:
+        if not segmented:
             return None
         nodes = list(self.graph.nodes)
         pre_set = {nodes[i] for i in pre_idx}
@@ -518,19 +766,14 @@ class ExecutionPlan:
             return phases
 
         # Core phases fire at n≈1 each period, where block-kernel setup costs
-        # more than it saves — run them through the interpreter's per-firing
-        # scalar executors (channel-class agnostic) instead.
-        core: List[CompiledPhase] = []
-        for ph in steady:
-            if ph.node in pre_set or ph.node in suf_set:
-                continue
-            scalar_fire = self.interp._executors[ph.node]
-
-            def fire(n: int, _f: Callable[[], None] = scalar_fire) -> None:
-                for _ in range(n):
-                    _f()
-
-            core.append(CompiledPhase(ph.node, ph.count, fire, False))
+        # more than it saves — run the whole cyclic core over hoisted list
+        # tapes instead (one I/O transfer per chunk, not per firing).
+        core_phases = [
+            (ph.node, ph.count)
+            for ph in steady
+            if ph.node not in pre_set and ph.node not in suf_set
+        ]
+        core = CoreLoopRunner(core_phases, self.channels)
         return aggregate(pre_set), core, aggregate(suf_set)
 
     def _fusion_ranges(
@@ -647,9 +890,7 @@ class ExecutionPlan:
                 scale = min(left, self.chunk_periods)
                 for phase in prefix:
                     phase.run(scale)
-                for _ in range(scale):
-                    for phase in core:
-                        phase.run(1)
+                core.run(scale)
                 for phase in suffix:
                     phase.run(scale)
                 left -= scale

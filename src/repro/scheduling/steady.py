@@ -64,6 +64,25 @@ class ProgramSchedule:
     buffer_bounds: Dict[FlatEdge, int]
 
 
+def restrict_schedule(schedule: Schedule, nodes) -> Schedule:
+    """The subsequence of ``schedule`` firing only ``nodes``.
+
+    Phase order is preserved and adjacent same-node runs merge, so each
+    worker of the parallel runtime executes its own nodes in exactly the
+    global schedule's relative order — the property that makes per-worker
+    execution deadlock-free once cross-worker edges block on ring buffers.
+    """
+    phases: List[Tuple[FlatNode, int]] = []
+    for node, count in schedule:
+        if node not in nodes:
+            continue
+        if phases and phases[-1][0] is node:
+            phases[-1] = (node, phases[-1][1] + count)
+        else:
+            phases.append((node, count))
+    return Schedule(tuple(phases))
+
+
 def _edge_extra(edge: FlatEdge) -> int:
     """Consumer lookahead (peek - pop) required to remain on this edge."""
     if edge.dst.kind == FILTER:

@@ -1,0 +1,363 @@
+"""Tests for the parallel runtime: ring buffers, worker lifecycle, and
+bit-exactness of ``engine="parallel"`` against the batched engine.
+
+The ring tests drive :class:`RingChannel` through its edge cases directly
+(wraparound, blocked producer/consumer, abort).  The lifecycle tests assert
+the issue's teardown contract: no orphaned worker processes on success, on
+an exception inside a worker (error carries the filter's instance name), or
+on cancellation mid-session.  The differential tests run real apps under
+every mapping strategy and require bit-identical output or a structured
+``SL304`` downgrade — never a crash.
+"""
+
+import threading
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.errors import EngineDowngradeWarning, StreamItError
+from repro.graph.base import Filter
+from repro.graph.builtins import ArraySource, CollectSink, Identity
+from repro.graph.composites import Pipeline
+from repro.mapping.strategies import STRATEGIES
+from repro.runtime import Interpreter
+from repro.runtime.ring import RingAbort, RingArena, RingStall
+
+STRATEGY_NAMES = tuple(STRATEGIES)
+
+
+def _collect(app):
+    return next(f for f in app.filters() if isinstance(f, CollectSink))
+
+
+def _run(builder, engine, periods=6, **opts):
+    app = builder()
+    sink = _collect(app)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", EngineDowngradeWarning)
+        interp = Interpreter(app, engine=engine, **opts)
+    try:
+        interp.run(periods)
+    finally:
+        interp.close()
+    return list(sink.collected), interp
+
+
+# ---------------------------------------------------------------------------
+# Ring buffer edge cases
+# ---------------------------------------------------------------------------
+
+
+class TestRingChannel:
+    def test_wraparound_at_capacity(self):
+        arena = RingArena([8])
+        try:
+            ring = arena.ring(0, name="wrap")
+            # Fill, drain partially, refill: the second block must wrap.
+            ring.push_block(np.arange(6.0))
+            assert ring.pop_block(4).tolist() == [0.0, 1.0, 2.0, 3.0]
+            ring.push_block(np.arange(10.0, 15.0))  # crosses the end
+            assert len(ring) == 7
+            assert ring.snapshot() == [4.0, 5.0, 10.0, 11.0, 12.0, 13.0, 14.0]
+            # peek_block over the wrapped window copies but stays correct.
+            assert ring.peek_block(7).tolist() == ring.snapshot()
+            ring.drop(7)
+            assert len(ring) == 0
+        finally:
+            arena.release(unlink=True)
+
+    def test_counters_survive_wraparound(self):
+        arena = RingArena([4])
+        try:
+            ring = arena.ring(0, name="count")
+            for i in range(25):
+                ring.push(float(i))
+                assert ring.pop() == float(i)
+            assert ring.pushed_count == 25
+            assert ring.popped_count == 25
+        finally:
+            arena.release(unlink=True)
+
+    def test_consumer_blocked_until_producer_pushes(self):
+        arena = RingArena([8])
+        try:
+            ring = arena.ring(0, name="cb", timeout=5.0)
+
+            def produce():
+                time.sleep(0.05)
+                ring.push_block(np.arange(3.0))
+
+            t = threading.Thread(target=produce)
+            t.start()
+            # Blocks (the items don't exist yet), then returns them.
+            assert ring.pop_block(3).tolist() == [0.0, 1.0, 2.0]
+            t.join()
+        finally:
+            arena.release(unlink=True)
+
+    def test_producer_blocked_until_consumer_pops(self):
+        arena = RingArena([4])
+        try:
+            ring = arena.ring(0, name="pb", timeout=5.0)
+            ring.push_block(np.arange(4.0))  # full
+
+            def consume():
+                time.sleep(0.05)
+                ring.drop(3)
+
+            t = threading.Thread(target=consume)
+            t.start()
+            ring.push_block(np.array([9.0, 10.0]))  # blocks until the drop
+            t.join()
+            assert ring.snapshot() == [3.0, 9.0, 10.0]
+        finally:
+            arena.release(unlink=True)
+
+    def test_blocked_wait_times_out_as_stall(self):
+        arena = RingArena([4])
+        try:
+            ring = arena.ring(0, name="stall", timeout=0.05)
+            with pytest.raises(RingStall):
+                ring.pop_block(1)  # nobody will ever push
+            ring.push_block(np.arange(4.0))
+            with pytest.raises(RingStall):
+                ring.push(5.0)  # nobody will ever pop
+        finally:
+            arena.release(unlink=True)
+
+    def test_abort_unblocks_waiters(self):
+        arena = RingArena([4])
+        try:
+            ring = arena.ring(0, name="abort", timeout=30.0)
+
+            def aborter():
+                time.sleep(0.05)
+                arena.abort()
+
+            t = threading.Thread(target=aborter)
+            t.start()
+            with pytest.raises(RingAbort):
+                ring.pop_block(1)
+            t.join()
+        finally:
+            arena.release(unlink=True)
+
+    def test_oversized_single_push_is_a_planner_bug(self):
+        arena = RingArena([4])
+        try:
+            ring = arena.ring(0, name="big")
+            with pytest.raises(StreamItError):
+                ring.push_block(np.arange(5.0))
+        finally:
+            arena.release(unlink=True)
+
+    def test_zero_item_operations_are_noops(self):
+        arena = RingArena([4])
+        try:
+            ring = arena.ring(0, name="zero")
+            ring.push_block(np.empty(0))
+            ring.drop(0)
+            assert ring.peek_block(0).tolist() == []
+            assert len(ring) == 0
+        finally:
+            arena.release(unlink=True)
+
+
+# ---------------------------------------------------------------------------
+# Worker lifecycle
+# ---------------------------------------------------------------------------
+
+
+class _BombFilter(Filter):
+    """Works fine during init, explodes on the Nth steady firing."""
+
+    def __init__(self, fuse: int) -> None:
+        super().__init__(pop=1, push=1, name="bomb")
+        self.fuse = fuse
+        self.count = 0
+
+    def work(self) -> None:
+        self.count += 1
+        if self.count > self.fuse:
+            raise RuntimeError("boom")
+        self.push(self.pop() * 2.0)
+
+
+def _chain_app(middle):
+    data = [float(v) for v in np.arange(16.0)]
+    return Pipeline(
+        ArraySource(data),
+        Identity(),
+        middle,
+        Identity(),
+        CollectSink(),
+    )
+
+
+class TestWorkerLifecycle:
+    def test_clean_shutdown_on_success(self):
+        out, interp = _run(
+            lambda: _chain_app(Identity()), "parallel", strategy="softpipe", cores=2
+        )
+        if interp.engine_used != "parallel":
+            pytest.skip("degenerate partition on this host")
+        assert interp.parallel.alive_workers == 0
+        interp.close()  # idempotent
+        assert interp.parallel.alive_workers == 0
+
+    def test_worker_exception_propagates_with_filter_name(self):
+        app = _chain_app(_BombFilter(fuse=4))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", EngineDowngradeWarning)
+            interp = Interpreter(app, engine="parallel", strategy="softpipe", cores=2)
+        if interp.engine_used != "parallel":
+            pytest.skip("degenerate partition on this host")
+        with pytest.raises(StreamItError, match="bomb"):
+            interp.run(periods=64)
+        # No orphans: every worker joined during failure teardown.
+        assert interp.parallel.alive_workers == 0
+        interp.close()
+        with pytest.raises(StreamItError, match="closed"):
+            interp.run_steady(1)
+
+    def test_cancellation_mid_session_leaves_no_orphans(self):
+        app = _chain_app(Identity())
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", EngineDowngradeWarning)
+            interp = Interpreter(app, engine="parallel", strategy="softpipe", cores=2)
+        if interp.engine_used != "parallel":
+            pytest.skip("degenerate partition on this host")
+        # Run part of the work, then abandon the session the way a
+        # KeyboardInterrupt handler would: close() with workers idle-parked
+        # between commands, without a shutdown command having been run.
+        interp.run(periods=2)
+        assert interp.parallel.alive_workers > 0
+        interp.close()
+        assert interp.parallel.alive_workers == 0
+
+    def test_close_before_first_run_is_safe(self):
+        app = _chain_app(Identity())
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", EngineDowngradeWarning)
+            interp = Interpreter(app, engine="parallel", strategy="softpipe", cores=2)
+        interp.close()
+        if interp.parallel is not None:
+            assert interp.parallel.alive_workers == 0
+
+    def test_context_manager_closes(self):
+        app = _chain_app(Identity())
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", EngineDowngradeWarning)
+            with Interpreter(app, engine="parallel", strategy="softpipe", cores=2) as interp:
+                interp.run(periods=2)
+        if interp.parallel is not None:
+            assert interp.parallel.alive_workers == 0
+
+    def test_zero_period_steady_is_noop(self):
+        app = _chain_app(Identity())
+        sink = _collect(app)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", EngineDowngradeWarning)
+            with Interpreter(app, engine="parallel", strategy="softpipe", cores=2) as interp:
+                interp.run_init()
+                before = len(sink.collected)
+                interp.run_steady(0)
+                assert len(sink.collected) == before
+
+
+# ---------------------------------------------------------------------------
+# Structured downgrades
+# ---------------------------------------------------------------------------
+
+
+class TestParallelDowngrade:
+    def test_single_core_request_downgrades_to_batched(self):
+        app = _chain_app(Identity())
+        with pytest.warns(EngineDowngradeWarning, match="SL304"):
+            interp = Interpreter(app, engine="parallel", strategy="softpipe", cores=1)
+        assert interp.engine_used == "batched"
+        assert any(d.code == "SL304" for d in interp.downgrades)
+        interp.run(periods=4)
+        interp.close()
+
+    def test_teleport_portals_downgrade_to_batched(self):
+        from repro.apps import freqhop
+
+        app = freqhop.build_teleport()
+        with pytest.warns(EngineDowngradeWarning, match="SL304"):
+            interp = Interpreter(app, engine="parallel", strategy="softpipe", cores=2)
+        assert interp.engine_used == "batched"
+        assert any(d.code == "SL304" for d in interp.downgrades)
+        interp.close()
+
+    def test_strict_mode_raises_instead_of_downgrading(self):
+        app = _chain_app(Identity())
+        with pytest.raises(StreamItError, match="SL304"):
+            Interpreter(
+                app, engine="parallel", strategy="softpipe", cores=1, strict=True
+            )
+
+    def test_downgrade_report_is_structured(self):
+        app = _chain_app(Identity())
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", EngineDowngradeWarning)
+            interp = Interpreter(app, engine="parallel", strategy="softpipe", cores=1)
+        report = interp.engine_report()
+        assert report["requested"] == "parallel"
+        assert report["used"] == "batched"
+        assert any(d["code"] == "SL304" for d in report["downgrades"])
+        interp.close()
+
+
+# ---------------------------------------------------------------------------
+# Bit-exactness against the batched engine, across apps and strategies
+# ---------------------------------------------------------------------------
+
+#: Every app under the default strategy; a representative subset under the
+#: full strategy matrix (the matrix over ALL_APPS runs in the nightly sweep,
+#: not per-commit).
+MATRIX_APPS = ("Vocoder", "FMRadio", "FilterBank", "DToA")
+
+
+class TestParallelDifferential:
+    @pytest.mark.parametrize("name", sorted(ALL_APPS))
+    def test_apps_bit_exact_softpipe(self, name):
+        builder = ALL_APPS[name]
+        ref, _ = _run(builder, "batched", periods=4)
+        out, interp = _run(
+            builder, "parallel", periods=4, strategy="softpipe", cores=2
+        )
+        if interp.engine_used != "parallel":
+            assert any(d.code == "SL304" for d in interp.downgrades)
+        assert out == ref
+
+    @pytest.mark.parametrize("strategy", STRATEGY_NAMES)
+    @pytest.mark.parametrize("name", MATRIX_APPS)
+    def test_matrix_bit_exact_all_strategies(self, name, strategy):
+        builder = ALL_APPS[name]
+        ref, _ = _run(builder, "batched", periods=4)
+        out, interp = _run(
+            builder, "parallel", periods=4, strategy=strategy, cores=4
+        )
+        if interp.engine_used != "parallel":
+            assert any(d.code == "SL304" for d in interp.downgrades)
+        assert out == ref
+
+    def test_layout_report_places_io_on_parent(self):
+        builder = ALL_APPS["FMRadio"]
+        app = builder()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", EngineDowngradeWarning)
+            interp = Interpreter(app, engine="parallel", strategy="softpipe", cores=2)
+        try:
+            layout = interp.engine_report()["parallel"]
+            workers = layout["workers"]
+            assert len(workers) >= 3  # parent + >=2 compute workers
+            parent_nodes = workers[0]
+            assert any("source" in n.lower() or "sink" in n.lower() for n in parent_nodes)
+            assert layout["ring_edges"]  # cross-worker traffic exists
+        finally:
+            interp.close()

@@ -350,13 +350,16 @@ def _random_stage(gen):
     )
 
 
-def _run_engine(build, engine, periods):
+def _run_engine(build, engine, periods, **engine_opts):
     app = build()
     sink = next(f for f in app.filters() if isinstance(f, CollectSink))
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", EngineDowngradeWarning)
-        interp = Interpreter(app, check=False, engine=engine)
-        interp.run(periods=periods)
+        interp = Interpreter(app, check=False, engine=engine, **engine_opts)
+        try:
+            interp.run(periods=periods)
+        finally:
+            interp.close()
     return list(sink.collected), interp
 
 
@@ -520,3 +523,47 @@ class TestBatchedEngineDifferential:
         batched, interp = _run_engine(build, "batched", 7)
         assert interp.plan.fused_chains, "expected at least one fused chain"
         assert batched == scalar
+
+
+class TestParallelEngineDifferential:
+    """The parallel engine must be bit-exact against scalar and batched.
+
+    Random pipelines from the fuzz generator are run under every mapping
+    strategy at ``cores=2``.  Strategies that cannot split the graph (or
+    graphs the parallel engine refuses) downgrade to batched with SL304 —
+    that structured fallback is accepted; a parallel run with *different
+    output* is not.
+    """
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_parallel_matches_scalar_and_batched(self, seed):
+        from repro.mapping.strategies import STRATEGIES
+
+        gen = np.random.default_rng(seed)
+        data = [float(v) for v in gen.uniform(-4, 4, size=8)]
+        n_stages = int(gen.integers(1, 4))
+        spec_seed = int(gen.integers(0, 2**32))
+
+        def build():
+            g = np.random.default_rng(spec_seed)
+            return Pipeline(
+                ArraySource(data),
+                *[_random_stage(g) for _ in range(n_stages)],
+                CollectSink(),
+            )
+
+        scalar, _ = _run_engine(build, "scalar", 5)
+        batched, _ = _run_engine(build, "batched", 5)
+        assert batched == scalar
+        ran_parallel = []
+        for strategy in STRATEGIES:
+            out, interp = _run_engine(
+                build, "parallel", 5, strategy=strategy, cores=2
+            )
+            if interp.engine_used != "parallel":
+                # Structured downgrade (SL304) — output must still match.
+                assert out == scalar, f"{strategy}: downgraded run diverged"
+                continue
+            ran_parallel.append(strategy)
+            assert out == scalar, f"{strategy}: parallel output diverged"
