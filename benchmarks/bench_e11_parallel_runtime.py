@@ -23,7 +23,7 @@ import warnings
 from pathlib import Path
 
 from repro.apps import ALL_APPS
-from repro.bench import measure_throughput
+from repro.bench import measure_throughput, time_breakdown
 from repro.errors import EngineDowngradeWarning
 from repro.machine.raw import RawMachine
 from repro.mapping.strategies import STRATEGIES
@@ -59,6 +59,21 @@ def _measure(build, periods, label, engine, **opts):
             for _ in range(2)
         ),
         key=lambda s: s.items_per_second,
+    )
+
+
+def worker_busy(build, periods: int, cores: int) -> str:
+    """Per-worker busy shares from a short traced run (streamscope)."""
+    _, metrics = time_breakdown(
+        build, periods, engine="parallel", strategy=STRATEGY, cores=cores
+    )
+    workers = metrics.get("workers", {})
+    total = sum(workers.values())
+    if total <= 0:
+        return "n/a"
+    return " ".join(
+        f"w{tid}:{100.0 * busy / total:.0f}%"
+        for tid, busy in sorted(workers.items())
     )
 
 
@@ -103,6 +118,11 @@ def run_bench(smoke: bool = False):
                     "measured_speedup_vs_batched": measured,
                     "simulated_speedup": simulated_speedup(name, cores),
                 }
+            # Where the workers' time goes, from a short traced run at the
+            # largest core count (separate run; the timed ones stay untraced).
+            row["worker_busy"] = worker_busy(
+                build, max(2, periods // 20), core_counts[-1]
+            )
             table["apps"][name] = row
     wins = sum(
         1
@@ -122,7 +142,8 @@ def render(table) -> str:
         "== E11: parallel runtime — batched vs parallel "
         f"({table['strategy']}, host has {table['host_cpus']} CPU(s)) ==",
         f"{'Benchmark':16s}{'batched it/s':>13s}"
-        + "".join(f"{f'par@{c} it/s':>13s}{f'meas@{c}':>9s}{f'sim@{c}':>8s}" for c in cores),
+        + "".join(f"{f'par@{c} it/s':>13s}{f'meas@{c}':>9s}{f'sim@{c}':>8s}" for c in cores)
+        + f"  worker busy @{cores[-1]} (traced)",
     ]
     for name, row in table["apps"].items():
         cells = ""
@@ -133,7 +154,10 @@ def render(table) -> str:
                 f"{p['measured_speedup_vs_batched']:8.2f}x"
                 f"{p['simulated_speedup']:7.2f}x"
             )
-        lines.append(f"{name:16s}{row['batched_items_per_sec']:13.0f}{cells}")
+        busy = row.get("worker_busy", "")
+        lines.append(
+            f"{name:16s}{row['batched_items_per_sec']:13.0f}{cells}  {busy}"
+        )
     lines.append(
         f"parallel > batched at {cores[-1]} cores: "
         f"{table['parallel_wins_at_max_cores']}/{len(table['apps'])} apps"

@@ -5,11 +5,14 @@ machine with every strategy, printing the speedup bars and showing why
 coarse-grained data parallelism plus software pipelining wins.
 
 Run with:  python examples/multicore_mapping.py [--engine {scalar,batched,parallel}]
-           [--cores N]
+           [--cores N] [--trace FILE]
 
 ``--engine parallel`` runs each reference execution on real OS cores with
 the software-pipeline mapping (graphs the parallel engine refuses fall
-back to batched with an SL304 warning).
+back to batched with an SL304 warning).  ``--trace`` records the reference
+runs with streamscope (:mod:`repro.obs`) and writes one Chrome trace JSON
+per app (``FILE`` gains an app suffix) — with the parallel engine each
+worker gets its own Perfetto track.
 """
 
 import argparse
@@ -44,6 +47,13 @@ def main() -> None:
         default=None,
         help="worker count for --engine parallel (default: host CPUs, min 2)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a streamscope Chrome trace per reference run "
+        "(FILE gains an app suffix, e.g. out.trace.json -> out.DCT.trace.json)",
+    )
     args = parser.parse_args()
     machine = RawMachine()
     print(f"target: {machine.n_cores} cores @ {machine.clock_hz/1e6:.0f} MHz "
@@ -67,16 +77,24 @@ def main() -> None:
     print(f"\nreference execution ({args.engine} engine, 50 periods):")
     for name, builder in APPS.items():
         app = builder()
+        trace_path = None
+        if args.trace:
+            stem, dot, ext = args.trace.partition(".")
+            trace_path = f"{stem}.{name}{dot}{ext}" if dot else f"{args.trace}.{name}"
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", EngineDowngradeWarning)
-            interp = Interpreter(app, check=False, engine=args.engine, **engine_opts)
+            interp = Interpreter(
+                app, check=False, engine=args.engine, trace=trace_path, **engine_opts
+            )
         try:
             start = time.perf_counter()
             interp.run(periods=50)
             elapsed = time.perf_counter() - start
         finally:
             interp.close()
-        print(f"  {name:12s} {elapsed * 1000:8.1f} ms ({interp.engine_used} engine)")
+        note = f", trace -> {trace_path}" if trace_path else ""
+        print(f"  {name:12s} {elapsed * 1000:8.1f} ms "
+              f"({interp.engine_used} engine{note})")
 
     print("\nwhy: benchmark characteristics")
     for name, builder in APPS.items():

@@ -6,6 +6,12 @@ wavefront-exact boundaries, and contrasts with the manual control-loop
 implementation on the simulated parallel machine.
 
 Run with:  python examples/teleport_radio.py [--engine {scalar,batched}]
+           [--trace FILE]
+
+``--trace`` records the demo run with streamscope (:mod:`repro.obs`) and
+writes a Chrome trace-event JSON — load it in Perfetto, or summarize with
+``python -m repro.obs report FILE`` (the teleport section shows each
+retune's send→delivery latency checked against SDEP).
 """
 
 import argparse
@@ -26,6 +32,12 @@ def main() -> None:
         help="execution engine (portals run batched now: receiver batches "
         "split at the SDEP-derived delivery points)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a streamscope Chrome trace of the demo run to FILE",
+    )
     args = parser.parse_args()
 
     # Run the full demo radio with both portals live.
@@ -34,12 +46,16 @@ def main() -> None:
     mixer = next(f for f in app.filters() if f.name == "rf2if")
     booster = next(f for f in app.filters() if f.name == "booster")
 
-    interp = Interpreter(app, engine=args.engine)
+    interp = Interpreter(app, engine=args.engine, trace=args.trace)
     interp.run(periods=64)
     print(f"== trunked radio, 64 FFT blocks ({interp.engine_used} engine) ==")
     print(f"outputs produced:    {len(sink.collected)}")
     print(f"frequency hops:      {mixer.hops} (current {mixer.freq} Hz)")
     print(f"booster switches:    {booster.switches}")
+    if args.trace:
+        interp.close()
+        print(f"trace written:       {args.trace} "
+              f"(python -m repro.obs report {args.trace})")
 
     # The headline comparison: on a parallel machine the manual control
     # loop serializes the whole radio, teleport messaging does not.

@@ -67,6 +67,28 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "SL304": (Severity.WARNING, "engine-parallel-fallback"),
 }
 
+#: code -> one-line description, rendered by ``streamlint --codes``.  Keep
+#: in sync with :data:`CODES`; a test asserts the key sets match.
+CODE_DESCRIPTIONS: Dict[str, str] = {
+    "SL001": "work() pushes a different number of items than the declared push rate",
+    "SL002": "work() pops a different number of items than the declared pop rate",
+    "SL003": "work() peeks beyond the declared peek window",
+    "SL004": "declared rates are illegal (negative, or peek below pop)",
+    "SL005": "work()'s I/O rates cannot be determined statically",
+    "SL006": "filter defines no work() function",
+    "SL007": "declared peek window is larger than any access work() makes",
+    "SL101": "filter mutates its own state across firings (blocks fission)",
+    "SL102": "work() writes filter state through an alias the declaration hides",
+    "SL103": "work() mutates state behind a dynamic attribute access",
+    "SL104": "self escapes into opaque code, so state writes cannot be ruled out",
+    "SL201": "filter body looks affine — a candidate for the linear-dataflow path",
+    "SL300": "static proof certifies the generic vector lifting of this filter",
+    "SL301": "filter cannot be vectorized generically (stateful or opaque)",
+    "SL302": "engine request downgraded to the scalar interpreter",
+    "SL303": "superbatching degraded: a feedback core runs period-at-a-time",
+    "SL304": "engine request downgraded from parallel to batched execution",
+}
+
 
 @dataclass(frozen=True)
 class Diagnostic:

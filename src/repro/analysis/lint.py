@@ -224,6 +224,18 @@ def run_lint(
     return 0
 
 
+def print_codes(out=None) -> int:
+    """``--codes``: the stable diagnostic registry, one line per code."""
+    from repro.analysis.diagnostics import CODES, CODE_DESCRIPTIONS
+
+    out = out or sys.stdout
+    for code in sorted(CODES):
+        severity, title = CODES[code]
+        description = CODE_DESCRIPTIONS.get(code, "")
+        print(f"{code}  {str(severity):7s} {title:24s} {description}", file=out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
@@ -231,8 +243,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "targets",
-        nargs="+",
+        nargs="*",
         help="dotted module names, .py files, or package directories",
+    )
+    parser.add_argument(
+        "--codes",
+        action="store_true",
+        help="list every stable SLxxx diagnostic code and exit",
     )
     parser.add_argument(
         "--strict",
@@ -258,6 +275,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also print INFO and suppressed findings",
     )
     ns = parser.parse_args(argv)
+    if ns.codes:
+        return print_codes()
+    if not ns.targets:
+        parser.error("targets are required unless --codes is given")
     return run_lint(
         ns.targets,
         strict=ns.strict,

@@ -113,6 +113,48 @@ def measure_throughput(
     )
 
 
+def time_breakdown(
+    builder: Callable[[], object],
+    periods: int,
+    engine: str = "batched",
+    top: int = 3,
+    **engine_opts,
+) -> Tuple[str, Dict[str, object]]:
+    """Where the time goes: a short traced run's per-filter attribution.
+
+    Runs ``periods`` periods with streamscope tracing on (:mod:`repro.obs`)
+    and returns ``(text, metrics)`` — ``text`` is a compact
+    ``"name:45% name:30% ..."`` column for benchmark tables (the ``top``
+    most expensive filters by self-time), ``metrics`` the full
+    :meth:`~repro.obs.MemoryTracer.metrics` dict.  The traced run is
+    separate from the timed one, so the measurement itself stays untraced.
+    """
+    app = builder()
+    interp = Interpreter(app, check=False, engine=engine, trace=True, **engine_opts)
+    try:
+        interp.run(periods=periods)
+    finally:
+        interp.close()
+    metrics = interp.tracer.metrics()
+    filters = metrics.get("filters", {})
+    total = sum(row["self_time"] for row in filters.values())
+    if total <= 0:
+        return "n/a", metrics
+    def short(name: str) -> str:
+        # Fully-fused chains concatenate every stage name; keep the ends.
+        if len(name) > 28 and "+" in name:
+            stages = name.split("+")
+            return f"{stages[0]}+..+{stages[-1]}[{len(stages)}]"
+        return name
+
+    ordered = sorted(filters.items(), key=lambda kv: -kv[1]["self_time"])[:top]
+    text = " ".join(
+        f"{short(name)}:{100.0 * row['self_time'] / total:.0f}%"
+        for name, row in ordered
+    )
+    return text, metrics
+
+
 def normalize_periods(base_builder: Callable, opt_builder: Callable, base_periods: int) -> int:
     """Periods for the optimized variant producing comparable output volume.
 

@@ -1,0 +1,71 @@
+"""``repro.obs`` — *streamscope*: tracing, metrics, profile attribution.
+
+A low-overhead observability layer threaded through all three execution
+engines (see DESIGN.md, "Observability"):
+
+* :class:`Tracer` protocol with the zero-cost :data:`NULL_TRACER` and the
+  in-memory :class:`MemoryTracer` ring recorder;
+* span events for scalar filter firings, batched block kernels and fused
+  chains (with plan-cache hit/miss counters), and per-worker timelines in
+  the parallel engine;
+* hardware-ish counters: per-channel push/pop history, ArrayChannel
+  occupancy high-water marks, SPSC ring stall/backpressure statistics,
+  and teleport send→delivery records checked against the SDEP wavefront;
+* exporters: Chrome trace-event JSON (Perfetto-loadable, one track per
+  worker) via :meth:`MemoryTracer.write`, and the flat
+  :meth:`MemoryTracer.metrics` dict the bench harness consumes;
+* a CLI: ``python -m repro.obs report <trace.json>`` renders the
+  per-filter attribution table, ``... validate`` schema-checks a trace.
+
+Enable with ``Interpreter(app, trace=True)`` (inspect
+``interp.tracer``), ``trace=<path>`` (a trace file is written on
+``close()``), or ``trace=<your MemoryTracer>``.
+"""
+
+from repro.obs.chrome import (
+    TraceFormatError,
+    load_trace,
+    trace_summary,
+    validate_trace,
+)
+from repro.obs.counters import HwmArrayChannel, channel_snapshot
+from repro.obs.report import aggregate_filters, render_report
+from repro.obs.tracer import (
+    CAT_CORE,
+    CAT_ENGINE,
+    CAT_FILTER,
+    CAT_FUSED,
+    CAT_KERNEL,
+    CAT_META,
+    CAT_PLAN,
+    CAT_TELEPORT,
+    CAT_WORKER,
+    NULL_TRACER,
+    MemoryTracer,
+    NullTracer,
+    Tracer,
+)
+
+__all__ = [
+    "CAT_CORE",
+    "CAT_ENGINE",
+    "CAT_FILTER",
+    "CAT_FUSED",
+    "CAT_KERNEL",
+    "CAT_META",
+    "CAT_PLAN",
+    "CAT_TELEPORT",
+    "CAT_WORKER",
+    "HwmArrayChannel",
+    "MemoryTracer",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceFormatError",
+    "Tracer",
+    "aggregate_filters",
+    "channel_snapshot",
+    "load_trace",
+    "render_report",
+    "trace_summary",
+    "validate_trace",
+]

@@ -1,0 +1,70 @@
+"""CLI entry: ``python -m repro.obs {report,validate} <trace.json>``.
+
+* ``report`` — render the per-filter attribution table (self-time, stall%,
+  teleport boundaries, engine downgrades) from a streamscope trace;
+* ``validate`` — check the file against the Chrome trace-event schema and
+  print a shape summary (the CI ``trace-smoke`` gate).
+
+Exit status: 0 on success, 1 on a schema violation or unreadable file,
+2 for usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.obs.chrome import TraceFormatError, load_trace, trace_summary
+from repro.obs.report import render_report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="streamscope trace tooling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_report = sub.add_parser("report", help="per-filter attribution table")
+    p_report.add_argument("trace", help="Chrome trace-event JSON file")
+    p_report.add_argument(
+        "--top", type=int, default=None, help="only the N most expensive rows"
+    )
+    p_validate = sub.add_parser("validate", help="schema-check a trace file")
+    p_validate.add_argument("trace", help="Chrome trace-event JSON file")
+    p_validate.add_argument(
+        "--min-tracks",
+        type=int,
+        default=1,
+        help="require at least this many distinct tracks (CI gate)",
+    )
+    ns = parser.parse_args(argv)
+
+    try:
+        payload = load_trace(ns.trace)
+    except (OSError, TraceFormatError) as exc:
+        print(f"streamscope: {exc}", file=sys.stderr)
+        return 1
+
+    if ns.command == "validate":
+        summary = trace_summary(payload)
+        print(
+            f"{ns.trace}: valid Chrome trace — {summary['events']} events, "
+            f"{summary['spans']} spans, tracks {summary['tracks']}, "
+            f"{len(summary['counters'])} counter series"
+        )
+        if len(summary["tracks"]) < ns.min_tracks:
+            print(
+                f"streamscope: expected >= {ns.min_tracks} tracks, "
+                f"got {summary['tracks']}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    print(render_report(payload, top=ns.top))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,101 @@
+"""Chrome trace-event JSON: loading and schema validation.
+
+The exporter lives on :class:`~repro.obs.tracer.MemoryTracer`; this module
+is the consumer side — ``python -m repro.obs validate`` (the CI
+trace-smoke gate) and the report CLI both load traces through here.
+
+The schema checked is the subset of the Trace Event Format the tracer
+emits (and Perfetto requires): a top-level object with a ``traceEvents``
+list whose entries carry ``name``/``ph``/``ts`` (plus ``dur`` for ``X``
+events and ``args`` for ``C`` counters), with numeric timestamps and
+integer track ids.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+#: Event phases the tracer emits (validation rejects others).
+_KNOWN_PHASES = frozenset({"X", "i", "I", "C", "M", "B", "E"})
+
+
+class TraceFormatError(ValueError):
+    """The file is not a valid Chrome trace-event JSON trace."""
+
+
+def load_trace(path) -> Dict[str, Any]:
+    """Load and validate a Chrome trace file; raises TraceFormatError."""
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"{path}: not valid JSON: {exc}")
+    problems = validate_trace(payload)
+    if problems:
+        raise TraceFormatError(f"{path}: " + "; ".join(problems[:5]))
+    return payload
+
+
+def validate_trace(payload: Any) -> List[str]:
+    """Schema problems in a parsed trace (empty list = valid)."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["top level must be a JSON object with a traceEvents key"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: missing event name")
+        if ph != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X event needs a non-negative dur")
+        if ph == "C" and not isinstance(event.get("args"), dict):
+            problems.append(f"{where}: C event needs an args dict of series")
+        tid = event.get("tid", 0)
+        if not isinstance(tid, int):
+            problems.append(f"{where}: tid must be an integer")
+        if len(problems) >= 50:
+            problems.append("... (further problems elided)")
+            break
+    return problems
+
+
+def trace_summary(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Quick shape facts: event/track counts, span duration, categories."""
+    events = payload.get("traceEvents", [])
+    tracks = sorted({e.get("tid", 0) for e in events if e.get("ph") != "M"})
+    spans = [e for e in events if e.get("ph") == "X"]
+    counters = sorted({e["name"] for e in events if e.get("ph") == "C"})
+    ts_values = [e["ts"] for e in events if e.get("ph") != "M"]
+    return {
+        "events": len(events),
+        "spans": len(spans),
+        "tracks": tracks,
+        "counters": counters,
+        "wall_us": (max(ts_values) - min(ts_values)) if ts_values else 0.0,
+        "dropped_events": payload.get("repro", {}).get("dropped_events", 0),
+    }
+
+
+def track_names(payload: Dict[str, Any]) -> Dict[int, str]:
+    """tid -> display name from the trace's metadata events."""
+    names: Dict[int, str] = {}
+    for event in payload.get("traceEvents", []):
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            names[event.get("tid", 0)] = event.get("args", {}).get("name", "")
+    return names

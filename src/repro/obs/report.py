@@ -1,0 +1,162 @@
+"""``python -m repro.obs report`` — render a per-filter table from a trace.
+
+Aggregates the span events of a ``streamscope`` Chrome trace into the
+attribution table the paper's evaluation reasons about: per filter (or
+fused chain / cyclic core), how many spans and firings ran, how many items
+moved, how much wall-clock self-time was spent, and — for parallel traces
+— what fraction of that time was ring-buffer stall, attributed to the
+producer/consumer filters of each cross-worker edge.  Engine downgrades
+(SL302/SL303/SL304) recorded in the trace metadata are printed below the
+table, so a "why is this slow" question and a "why did my engine change"
+question have the same entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.chrome import track_names, trace_summary
+from repro.obs.tracer import SELF_TIME_CATS
+
+
+def aggregate_filters(payload: Dict[str, Any]) -> Dict[str, Dict[str, float]]:
+    """name -> {self_time_us, spans, firings, items, tids} over span events."""
+    rows: Dict[str, Dict[str, Any]] = {}
+    for event in payload.get("traceEvents", []):
+        if event.get("ph") != "X" or event.get("cat") not in SELF_TIME_CATS:
+            continue
+        row = rows.setdefault(
+            event["name"],
+            {"self_time_us": 0.0, "spans": 0, "firings": 0, "items": 0, "tids": set()},
+        )
+        row["self_time_us"] += event.get("dur", 0.0)
+        row["spans"] += 1
+        args = event.get("args") or {}
+        row["firings"] += args.get("firings", 0)
+        row["items"] += args.get("items", 0)
+        row["tids"].add(event.get("tid", 0))
+    return rows
+
+
+def ring_stalls(payload: Dict[str, Any]) -> Dict[str, Dict[str, float]]:
+    """Ring name -> last stall-counter sample (counters are cumulative)."""
+    rings: Dict[str, Dict[str, float]] = {}
+    for event in payload.get("traceEvents", []):
+        if event.get("ph") == "C" and event["name"].startswith("ring:"):
+            rings[event["name"][len("ring:"):]] = dict(event.get("args") or {})
+    # Channel snapshots in the metadata cover rings the counters missed.
+    channels = payload.get("repro", {}).get("meta", {}).get("channels", {})
+    for name, row in channels.items():
+        if row.get("kind") == "ring" and name not in rings:
+            rings[name] = row
+    return rings
+
+
+def _attribute_stalls(
+    rows: Dict[str, Dict[str, Any]], rings: Dict[str, Dict[str, float]]
+) -> None:
+    """Fold ring stall time into the producer/consumer filters' rows.
+
+    A ring is named ``src->dst``; producer-side stall (waiting for space —
+    backpressure) belongs to ``src``, consumer-side stall (waiting for
+    items — starvation) to ``dst``.
+    """
+    for row in rows.values():
+        row.setdefault("stall_us", 0.0)
+    for name, stats in rings.items():
+        src, _, dst = name.partition("->")
+        if src in rows:
+            rows[src]["stall_us"] += 1e6 * float(stats.get("producer_stall_s", 0.0))
+        if dst in rows:
+            rows[dst]["stall_us"] += 1e6 * float(stats.get("consumer_stall_s", 0.0))
+
+
+def render_report(payload: Dict[str, Any], top: Optional[int] = None) -> str:
+    """The full textual report for one loaded trace."""
+    summary = trace_summary(payload)
+    names = track_names(payload)
+    meta = payload.get("repro", {}).get("meta", {})
+    rows = aggregate_filters(payload)
+    rings = ring_stalls(payload)
+    _attribute_stalls(rows, rings)
+
+    lines: List[str] = []
+    track_list = ", ".join(
+        f"{tid}:{names.get(tid) or 'track'}" for tid in summary["tracks"]
+    )
+    lines.append(
+        f"== streamscope report: {summary['spans']} spans on "
+        f"{len(summary['tracks'])} track(s) [{track_list}], "
+        f"{summary['wall_us'] / 1e3:.1f} ms wall =="
+    )
+    if summary["dropped_events"]:
+        lines.append(
+            f"   (ring recorder dropped {summary['dropped_events']} oldest events)"
+        )
+
+    total_self = sum(r["self_time_us"] for r in rows.values()) or 1.0
+    width = max([len(n) for n in rows] + [6]) + 2
+    lines.append("")
+    lines.append(
+        f"{'filter':{width}s}{'spans':>7s}{'firings':>10s}{'items':>12s}"
+        f"{'self ms':>10s}{'self%':>7s}{'stall%':>7s}"
+    )
+    ordered = sorted(rows.items(), key=lambda kv: -kv[1]["self_time_us"])
+    if top:
+        ordered = ordered[:top]
+    for name, row in ordered:
+        self_us = row["self_time_us"]
+        stall_pct = 100.0 * row["stall_us"] / self_us if self_us else 0.0
+        lines.append(
+            f"{name:{width}s}{row['spans']:>7d}{row['firings']:>10d}"
+            f"{row['items']:>12d}{self_us / 1e3:>10.2f}"
+            f"{100.0 * self_us / total_self:>6.1f}%"
+            f"{min(stall_pct, 100.0):>6.1f}%"
+        )
+
+    if rings:
+        lines.append("")
+        lines.append("cross-worker rings (cumulative stalls):")
+        for name, stats in sorted(rings.items()):
+            lines.append(
+                f"  {name}: backpressure {int(stats.get('producer_stalls', 0))}x/"
+                f"{float(stats.get('producer_stall_s', 0.0)) * 1e3:.1f} ms, "
+                f"starvation {int(stats.get('consumer_stalls', 0))}x/"
+                f"{float(stats.get('consumer_stall_s', 0.0)) * 1e3:.1f} ms"
+            )
+
+    teleports = meta.get("teleports", [])
+    if teleports:
+        delivered = [t for t in teleports if t.get("delivered_n") is not None]
+        ok = sum(1 for t in delivered if t.get("sdep_ok"))
+        lines.append("")
+        lines.append(
+            f"teleport messages: {len(teleports)} sent, {len(delivered)} "
+            f"delivered, {ok}/{len(delivered)} at the exact SDEP boundary"
+        )
+        for t in delivered[:8]:
+            lines.append(
+                f"  {t['sender']} -> {t['receiver']}.{t['method']} "
+                f"latency={t['latency']} threshold={t['threshold']} "
+                f"delivered_at={t['delivered_n']} "
+                f"(+{t.get('latency_iterations', '?')} firings)"
+            )
+
+    report = meta.get("engine_report", {})
+    downgrades = report.get("downgrades", [])
+    if report:
+        lines.append("")
+        lines.append(
+            f"engine: requested {report.get('requested')!r}, "
+            f"ran {report.get('used')!r}"
+        )
+    for d in downgrades:
+        lines.append(f"  downgrade [{d.get('code')}]: {d.get('message')}")
+
+    cache = meta.get("plan_cache")
+    if cache:
+        lines.append(
+            f"plan cache: {cache.get('hits', 0)} hit(s), "
+            f"{cache.get('misses', 0)} miss(es)"
+        )
+    return "\n".join(lines)

@@ -73,6 +73,11 @@ class Interpreter:
             :data:`repro.mapping.strategies.STRATEGIES`).
         cores: with ``engine="parallel"``, how many cores the strategy maps
             to (defaults to the machine's CPU count, at least 2).
+        trace: observability (:mod:`repro.obs`).  ``None`` (default) keeps
+            the zero-cost null tracer; ``True`` records into a fresh
+            :class:`~repro.obs.MemoryTracer` (inspect ``interp.tracer``);
+            a string/path writes a Chrome trace-event file there on
+            :meth:`close`; any :class:`~repro.obs.Tracer` is used as-is.
 
     Typical use::
 
@@ -94,10 +99,13 @@ class Interpreter:
         strict: bool = False,
         strategy: str = "softpipe",
         cores: Optional[int] = None,
+        trace: Any = None,
     ) -> None:
         if engine not in ENGINES:
             raise StreamItError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.engine = engine
+        self._trace_path: Optional[str] = None
+        self.tracer = self._resolve_tracer(trace)
         self.strict = bool(strict)
         self.strategy = strategy
         if cores is None:
@@ -127,6 +135,22 @@ class Interpreter:
         self._setup()
 
     # -- setup ---------------------------------------------------------------
+
+    def _resolve_tracer(self, trace: Any):
+        from repro.obs.tracer import NULL_TRACER, MemoryTracer, Tracer
+
+        if trace is None or trace is False:
+            return NULL_TRACER
+        if trace is True:
+            return MemoryTracer()
+        if isinstance(trace, Tracer):
+            return trace
+        if isinstance(trace, (str, bytes)) or hasattr(trace, "__fspath__"):
+            self._trace_path = str(trace)
+            return MemoryTracer()
+        raise StreamItError(
+            f"trace must be None, True, a path, or a Tracer; got {trace!r}"
+        )
 
     def _setup(self) -> None:
         # Plan feasibility must be decided before channels are allocated
@@ -169,6 +193,12 @@ class Interpreter:
             self.channels = self.parallel.channels
         else:
             channel_cls = ArrayChannel if batched else Channel
+            if batched and self.tracer.enabled:
+                # Traced runs pay for occupancy high-water tracking; the
+                # untraced engine keeps the plain class (and its hot path).
+                from repro.obs.counters import HwmArrayChannel
+
+                channel_cls = HwmArrayChannel
             for edge in self.graph.edges:
                 self.channels[edge] = channel_cls(
                     name=f"{edge.src.name}->{edge.dst.name}", initial=edge.initial
@@ -340,6 +370,7 @@ class Interpreter:
             kwargs=dict(kwargs),
             latency=latency,
         )
+        deliver_now = False
         if latency is not None:
             if self._oracle is None:
                 self._oracle = WavefrontOracle(self.graph)
@@ -358,9 +389,7 @@ class Interpreter:
                     o_b, o_a, s + push_a * latency
                 )
                 # Already past the wavefront: deliver immediately.
-                if self.channels[o_b].pushed_count >= message.threshold:
-                    message.deliver()
-                    return
+                deliver_now = self.channels[o_b].pushed_count >= message.threshold
             elif self._oracle.is_upstream(o_a, o_b):
                 message.direction = "downstream"
                 message.threshold = self._oracle.max_items(
@@ -371,7 +400,84 @@ class Interpreter:
                     f"{sender.name} and {receiver.name} run in parallel; "
                     "parallel message timing is beyond the paper's scope"
                 )
+        if self.tracer.enabled:
+            self._trace_send(recv_node, message)
+        if deliver_now:
+            self._deliver_one(message)
+            return
         self._pending.setdefault(recv_node, []).append(message)
+
+    def _deliver_one(self, msg: PendingMessage) -> None:
+        msg.deliver()
+        if self.tracer.enabled:
+            self._trace_delivery(msg)
+
+    # -- teleport observability ------------------------------------------------
+
+    def _trace_send(self, recv_node: FlatNode, message: PendingMessage) -> None:
+        """Open a send→delivery record for one teleport message."""
+        from repro.obs.tracer import CAT_TELEPORT
+
+        out_edge = recv_node.out_edges[0] if recv_node.out_edges else None
+        record = {
+            "sender": message.sender.name,
+            "receiver": message.receiver.name,
+            "method": message.method,
+            "latency": message.latency,
+            "direction": message.direction,
+            "threshold": message.threshold,
+            #: n(O_receiver) at send time — delivery latency in receiver
+            #: firings is measured from here.
+            "sent_n": int(self.channels[out_edge].pushed_count) if out_edge else 0,
+            "push": out_edge.push_rate if out_edge is not None else 0,
+            "delivered_n": None,
+            "latency_iterations": None,
+            "sdep_ok": None,
+        }
+        message.obs = record
+        self.tracer.meta.setdefault("teleports", []).append(record)
+        self.tracer.instant(
+            f"teleport.send {record['sender']}->{record['receiver']}.{record['method']}",
+            CAT_TELEPORT,
+            args={
+                "latency": record["latency"],
+                "threshold": record["threshold"],
+                "direction": record["direction"],
+                "sent_n": record["sent_n"],
+            },
+        )
+
+    def _trace_delivery(self, msg: PendingMessage) -> None:
+        """Close the record: where on the receiver's tape delivery landed."""
+        record = msg.obs
+        if record is None:
+            return
+        from repro.obs.tracer import CAT_TELEPORT
+        from repro.scheduling.sdep import delivery_on_boundary
+
+        recv_node = self.graph.node_for(msg.receiver)
+        delivered_n = (
+            int(self.channels[recv_node.out_edges[0]].pushed_count)
+            if recv_node.out_edges
+            else 0
+        )
+        record["delivered_n"] = delivered_n
+        push = record["push"]
+        if push:
+            record["latency_iterations"] = (delivered_n - record["sent_n"]) // push
+        record["sdep_ok"] = delivery_on_boundary(
+            msg.threshold, delivered_n, push, msg.direction
+        )
+        self.tracer.instant(
+            f"teleport.deliver {record['sender']}->{record['receiver']}.{record['method']}",
+            CAT_TELEPORT,
+            args={
+                "delivered_n": delivered_n,
+                "threshold": record["threshold"],
+                "latency_iterations": record["latency_iterations"],
+                "sdep_ok": record["sdep_ok"],
+            },
+        )
 
     def _deliver_before(self, node: FlatNode) -> None:
         """Deliver messages due immediately before a firing of ``node``."""
@@ -386,7 +492,7 @@ class Interpreter:
                 msg.direction == "downstream" and n_ob + push_b > msg.threshold
             )
             if due:
-                msg.deliver()
+                self._deliver_one(msg)
             else:
                 remaining.append(msg)
         if remaining:
@@ -403,7 +509,7 @@ class Interpreter:
         remaining: List[PendingMessage] = []
         for msg in queue:
             if msg.direction == "upstream" and msg.threshold is not None and n_ob >= msg.threshold:
-                msg.deliver()
+                self._deliver_one(msg)
             else:
                 remaining.append(msg)
         if remaining:
@@ -414,6 +520,9 @@ class Interpreter:
     # -- execution -----------------------------------------------------------
 
     def _execute_phases(self, phases: Sequence[Tuple[FlatNode, int]]) -> None:
+        if self.tracer.enabled:
+            self._execute_phases_traced(phases)
+            return
         executors = self._executors
         for node, count in phases:
             fire = executors[node]
@@ -431,6 +540,44 @@ class Interpreter:
             self.fired[node] += count
             self._current_node = None
 
+    def _execute_phases_traced(self, phases: Sequence[Tuple[FlatNode, int]]) -> None:
+        """Scalar execution with one span per schedule phase.
+
+        Per-phase (not per-firing) spans keep the recorder small and the
+        overhead bounded: a phase fires one node ``count`` times back to
+        back, which is exactly the granularity a profile attributes time at.
+        """
+        from time import perf_counter
+
+        from repro.obs.tracer import CAT_FILTER
+
+        tracer = self.tracer
+        executors = self._executors
+        for node, count in phases:
+            fire = executors[node]
+            self._current_node = node
+            push = node.out_edges[0].push_rate if node.out_edges else 0
+            t0 = perf_counter()
+            if self._pending:
+                for _ in range(count):
+                    self._deliver_before(node)
+                    fire()
+                    self._deliver_after(node)
+            else:
+                for _ in range(count):
+                    fire()
+                    if self._pending:
+                        self._deliver_after(node)
+            tracer.complete(
+                node.name,
+                CAT_FILTER,
+                t0,
+                perf_counter() - t0,
+                args={"firings": count, "items": count * push},
+            )
+            self.fired[node] += count
+            self._current_node = None
+
     def run_init(self) -> None:
         """Call filter ``init`` hooks and run the initialization schedule."""
         if self._initialized:
@@ -440,12 +587,20 @@ class Interpreter:
             node.filter.init()
         # Workers fork on the first parallel command — i.e. here, after the
         # init() hooks above, so children inherit initialized filter state.
+        if self.tracer.enabled:
+            from time import perf_counter
+
+            from repro.obs.tracer import CAT_ENGINE
+
+            t0 = perf_counter()
         if self.parallel is not None:
             self.parallel.run_init(self.fired)
         elif self.plan is not None:
             self.plan.run_init(self.fired)
         else:
             self._execute_phases(list(self.program.init))
+        if self.tracer.enabled:
+            self.tracer.complete("run_init", CAT_ENGINE, t0, perf_counter() - t0)
         self._initialized = True
 
     def run_steady(self, periods: int = 1) -> None:
@@ -453,6 +608,26 @@ class Interpreter:
         if not self._initialized:
             self.run_init()
         self._check_ownership()
+        if self.tracer.enabled:
+            from time import perf_counter
+
+            from repro.obs.tracer import CAT_ENGINE
+
+            t0 = perf_counter()
+            try:
+                self._run_steady_engine(periods)
+            finally:
+                self.tracer.complete(
+                    f"run_steady x{periods}",
+                    CAT_ENGINE,
+                    t0,
+                    perf_counter() - t0,
+                    args={"periods": periods, "engine": self.engine_used},
+                )
+            return
+        self._run_steady_engine(periods)
+
+    def _run_steady_engine(self, periods: int) -> None:
         if self.parallel is not None:
             self.parallel.run_steady(self.fired, periods)
             return
@@ -468,12 +643,40 @@ class Interpreter:
         self.run_init()
         self.run_steady(periods)
 
+    def flush_trace(self) -> None:
+        """Finalize trace metadata (and write the trace file, if requested).
+
+        Snapshots per-channel counters, the engine report, and plan-cache
+        statistics into ``tracer.meta`` so exporters and the report CLI see
+        them; called automatically from :meth:`close`.
+        """
+        tracer = self.tracer
+        if not tracer.enabled or getattr(self, "_trace_flushed", False):
+            return
+        self._trace_flushed = True
+        from repro.obs.counters import channel_snapshot
+
+        if not getattr(tracer, "track_names", None):
+            tracer.name_track(0, "main")
+        tracer.meta["engine"] = self.engine_used
+        tracer.meta["channels"] = channel_snapshot(self.channels)
+        tracer.meta["engine_report"] = self.engine_report()
+        if self.plan is not None:
+            tracer.meta["plan_cache"] = dict(self.plan.cache_stats)
+        if self._trace_path is not None:
+            tracer.write(self._trace_path)
+            self._trace_path = None
+
     def close(self) -> None:
         """Release engine resources (parallel workers, shared memory).
 
         Idempotent and safe on every engine; only the parallel engine holds
-        resources that outlive the interpreter object.
+        resources that outlive the interpreter object.  Traced runs flush
+        their metadata (and the ``trace=<path>`` file) here.
         """
+        # Snapshot counters before the parallel arena (and its ring-control
+        # shared memory) is torn down.
+        self.flush_trace()
         if self.parallel is not None:
             self.parallel.close()
 

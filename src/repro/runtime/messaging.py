@@ -65,6 +65,8 @@ class PendingMessage:
     threshold: Optional[int] = None
     #: "upstream" (deliver after firing) or "downstream" (before firing).
     direction: str = "downstream"
+    #: Open streamscope send→delivery record (:mod:`repro.obs`), if traced.
+    obs: Optional[Dict[str, Any]] = None
 
     def firings_until_due(self, produced: int, push: int) -> int:
         """Safe batch size for the receiver before this message is due.

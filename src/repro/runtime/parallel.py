@@ -68,6 +68,9 @@ _BARRIER_TIMEOUT = 300.0
 #: rest are software-pipelined (free-running, ring slack = overlap).
 _DAG_STRATEGIES = frozenset({"task", "fine_grained", "data"})
 
+#: Per-command cap on one worker's locally-buffered trace spans.
+_TRACE_BUF_CAP = 200_000
+
 
 def _release_arena(arena: RingArena, rings: List[RingChannel]) -> None:
     """Detach every ring view, then close + unlink the shared segment.
@@ -229,6 +232,26 @@ class ParallelSession:
         # granularity, which is deadlock-free by construction.
         self.monolithic = all(spec.scale_ok for spec in self.specs)
 
+        # Tracing (repro.obs): decided before the fork so parent and
+        # children agree.  Each process buffers its own Chrome-shaped span
+        # dicts (tid = wid) and ships them to the parent's MemoryTracer over
+        # a SimpleQueue after every command; perf_counter is CLOCK_MONOTONIC
+        # system-wide on Linux, so worker timestamps need no translation.
+        self.tracer = interp.tracer
+        self.traced = self.tracer.enabled
+        self._wid = 0
+        self._tbuf: Optional[List[dict]] = [] if self.traced else None
+        self._tdropped = 0
+        self._steady_done = 0
+        # A feeder-thread Queue (not SimpleQueue): a child's put() of a large
+        # span batch must not block on pipe capacity while the parent is
+        # still waiting at the finish barrier.
+        self._trace_queue = self._ctx.Queue() if self.traced else None
+        if self.traced:
+            for wid in range(self.n_workers):
+                label = "worker 0 (parent, io)" if wid == 0 else f"worker {wid}"
+                self.tracer.name_track(wid, label)
+
         self._header = self._arena._header
         self._start_barrier = self._ctx.Barrier(self.n_workers)
         self._finish_barrier = self._ctx.Barrier(self.n_workers)
@@ -283,7 +306,14 @@ class ParallelSession:
             self._exec_cache[node] = entry
         return entry[0]
 
-    def _fire(self, node: FlatNode, n: int) -> None:
+    def _fire(
+        self,
+        node: FlatNode,
+        n: int,
+        slice_idx: Optional[int] = None,
+        period: Optional[int] = None,
+        span: int = 1,
+    ) -> None:
         fire = self._executor(node)
         # Block until every ring input can satisfy the whole call: batched
         # filter executors snapshot their input window up front, so the
@@ -296,35 +326,74 @@ class ParallelSession:
                 if isinstance(chan, RingChannel) and edge.pop_rate:
                     chan.wait_items(n * edge.pop_rate + extra)
         try:
-            fire(n)
+            tbuf = self._tbuf
+            if tbuf is None:
+                fire(n)
+            else:
+                from time import perf_counter
+
+                t0 = perf_counter()
+                fire(n)
+                dur = perf_counter() - t0
+                if len(tbuf) < _TRACE_BUF_CAP:
+                    push = node.out_edges[0].push_rate if node.out_edges else 0
+                    tbuf.append(
+                        {
+                            "name": node.name,
+                            "cat": "worker",
+                            "ph": "X",
+                            "ts": t0,
+                            "dur": dur,
+                            "tid": self._wid,
+                            "args": {"firings": n, "items": n * push},
+                        }
+                    )
+                else:
+                    self._tdropped += 1
         except (RingAbort, RingStall):
             raise
         except BaseException as exc:
+            # Satellite context for error reports: which filter, at which
+            # position in this worker's restricted schedule, during which
+            # absolute steady iteration.
             exc._stream_node = node.name
+            exc._stream_slice = slice_idx
+            exc._stream_period = period
+            exc._stream_period_span = span
             raise
 
-    def _exec_schedule(self, schedule: Schedule, scale: int) -> None:
+    def _exec_schedule(
+        self, schedule: Schedule, scale: int, base_period: Optional[int] = None
+    ) -> None:
         phases = schedule.phases
         if not phases:
             return
         if scale == 1 or self.monolithic:
-            for node, count in phases:
-                self._fire(node, count * scale)
+            for i, (node, count) in enumerate(phases):
+                self._fire(node, count * scale, i, base_period, scale)
         else:
-            for _ in range(scale):
-                for node, count in phases:
-                    self._fire(node, count)
+            for p in range(scale):
+                for i, (node, count) in enumerate(phases):
+                    self._fire(
+                        node,
+                        count,
+                        i,
+                        base_period + p if base_period is not None else None,
+                    )
 
     def _run_periods(self, spec: WorkerSpec, periods: int) -> None:
         left = periods
         batch = self.batch_periods
         dag = self.discipline == "dag"
+        done = self._steady_done
         while left > 0:
             scale = min(batch, left)
-            self._exec_schedule(spec.steady, scale)
+            self._exec_schedule(spec.steady, scale, base_period=done)
+            done += scale
             left -= scale
             if dag:
                 self._step_barrier.wait(_BARRIER_TIMEOUT)
+        self._steady_done = done
 
     def _abort_barriers(self) -> None:
         for barrier in (self._start_barrier, self._finish_barrier, self._step_barrier):
@@ -349,8 +418,19 @@ class ParallelSession:
                 self.channels[edge].detach()
             self._arena.release(unlink=False)
 
+    def _ship_trace(self, wid: int) -> None:
+        """Send this worker's buffered spans to the parent (pre-barrier, so
+        the parent's post-barrier drain sees exactly one batch per child)."""
+        try:
+            self._trace_queue.put((wid, self._tbuf, self._tdropped))
+        except Exception:  # pragma: no cover - queue torn down
+            pass
+        self._tbuf = []
+        self._tdropped = 0
+
     def _worker_body(self, wid: int) -> None:
         self._exec_cache = {}
+        self._wid = wid
         spec = self.specs[wid]
         header = self._header
         while True:
@@ -379,12 +459,17 @@ class ParallelSession:
                         (
                             wid,
                             getattr(exc, "_stream_node", None),
+                            getattr(exc, "_stream_slice", None),
+                            getattr(exc, "_stream_period", None),
+                            getattr(exc, "_stream_period_span", 1),
                             traceback.format_exc(),
                         )
                     )
                 except Exception:  # pragma: no cover - queue torn down
                     pass
                 return
+            if self.traced:
+                self._ship_trace(wid)
             try:
                 self._finish_barrier.wait()
             except threading.BrokenBarrierError:
@@ -424,6 +509,34 @@ class ParallelSession:
             self._finish_barrier.wait(_BARRIER_TIMEOUT)
         except BaseException as exc:
             self._fail(exc)
+        if self.traced:
+            self._collect_trace()
+
+    def _collect_trace(self) -> None:
+        """Fold this command's spans (all workers) into the parent tracer,
+        then sample the cumulative ring stall counters."""
+        tracer = self.tracer
+        if self._tbuf:
+            tracer.ingest(self._tbuf)
+            self._tbuf = []
+        if self._tdropped:
+            tracer.meta["trace_spans_dropped"] = (
+                tracer.meta.get("trace_spans_dropped", 0) + self._tdropped
+            )
+            self._tdropped = 0
+        for _ in self._procs:
+            try:
+                _wid, events, dropped = self._trace_queue.get(timeout=60)
+            except Exception:  # pragma: no cover - worker died mid-ship
+                break
+            tracer.ingest(events)
+            if dropped:
+                tracer.meta["trace_spans_dropped"] = (
+                    tracer.meta.get("trace_spans_dropped", 0) + dropped
+                )
+        for edge in self.ring_edges:
+            chan = self.channels[edge]
+            tracer.counter(f"ring:{chan.name}", chan.stall_stats())
 
     def _fail(self, cause: BaseException) -> None:
         """Tear the session down after any mid-run failure and re-raise the
@@ -443,8 +556,10 @@ class ParallelSession:
             reports.append(self._errors.get())
         self.close()
         if reports:
-            wid, node_name, tb = reports[0]
-            where = f" in filter {node_name!r}" if node_name else ""
+            wid, node_name, slice_idx, period, span, tb = reports[0]
+            where = self._error_context(node_name, slice_idx, period, span)
+            if self.traced:
+                self._trace_worker_error(wid, node_name, slice_idx, period)
             raise StreamItError(
                 f"parallel worker {wid} failed{where}:\n{tb}"
             ) from cause
@@ -456,10 +571,64 @@ class ParallelSession:
             ) from cause
         node_name = getattr(cause, "_stream_node", None)
         if node_name is not None and not isinstance(cause, KeyboardInterrupt):
+            slice_idx = getattr(cause, "_stream_slice", None)
+            period = getattr(cause, "_stream_period", None)
+            span = getattr(cause, "_stream_period_span", 1)
+            where = self._error_context(node_name, slice_idx, period, span)
+            if self.traced:
+                self._trace_worker_error(0, node_name, slice_idx, period)
             raise StreamItError(
-                f"parallel worker 0 failed in filter {node_name!r}: {cause}"
+                f"parallel worker 0 failed{where}: {cause}"
             ) from cause
         raise cause
+
+    @staticmethod
+    def _error_context(
+        node_name: Optional[str],
+        slice_idx: Optional[int],
+        period: Optional[int],
+        span: int = 1,
+    ) -> str:
+        """``" in filter 'x' (schedule slice 3, steady iteration 17)"``.
+
+        A worker running a monolithic batch fires ``span`` periods in one
+        call, so the failure is located to the batch's iteration range.
+        """
+        where = f" in filter {node_name!r}" if node_name else ""
+        details = []
+        if slice_idx is not None:
+            details.append(f"schedule slice {slice_idx}")
+        if period is not None:
+            if span > 1:
+                details.append(
+                    f"steady iterations {period}..{period + span - 1}"
+                )
+            else:
+                details.append(f"steady iteration {period}")
+        if details:
+            where += f" ({', '.join(details)})"
+        return where
+
+    def _trace_worker_error(
+        self,
+        wid: int,
+        node_name: Optional[str],
+        slice_idx: Optional[int],
+        period: Optional[int],
+    ) -> None:
+        from repro.obs.tracer import CAT_META
+
+        self.tracer.instant(
+            "worker_error",
+            CAT_META,
+            tid=wid,
+            args={
+                "worker": wid,
+                "filter": node_name,
+                "schedule_slice": slice_idx,
+                "steady_iteration": period,
+            },
+        )
 
     # -- public API ------------------------------------------------------------
 

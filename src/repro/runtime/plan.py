@@ -578,6 +578,21 @@ class ExecutionPlan:
             _PLAN_CACHE.move_to_end(signature)
         else:
             plan_cache_stats["misses"] += 1
+        #: This plan's cache outcome + the cumulative counters at build time.
+        self.cache_stats = {
+            "hit": analysis is not None,
+            "hits": plan_cache_stats["hits"],
+            "misses": plan_cache_stats["misses"],
+        }
+        tracer = getattr(interp, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            from repro.obs.tracer import CAT_PLAN
+
+            tracer.instant(
+                "plan.cache_hit" if self.cache_stats["hit"] else "plan.cache_miss",
+                CAT_PLAN,
+                args=dict(self.cache_stats),
+            )
 
         self.init_phases = self._compile(program.init)
         steady = self._compile(program.steady)
@@ -872,6 +887,9 @@ class ExecutionPlan:
     def run_steady(self, fired: Dict[FlatNode, int], periods: int) -> None:
         if periods <= 0:
             return
+        if self.interp.tracer.enabled:
+            self._run_steady_traced(fired, periods)
+            return
         phases = self.steady_phases
         if self.messaging:
             for _ in range(periods):
@@ -902,9 +920,139 @@ class ExecutionPlan:
             for node, count in phase.accounting:
                 fired[node] += count * periods
 
+    # -- traced execution ------------------------------------------------------
+    #
+    # A physically separate code path: the untraced branches above stay free
+    # of any per-phase clock reads or attribute loads.  One span is emitted
+    # per ``phase.run(scale)`` — i.e. per batched kernel execution, fused
+    # chain, or cyclic-core chunk — which is both the engine's unit of work
+    # and the granularity a profile attributes time at.
+
+    def _trace_phase(self, phase: object, scale: int) -> None:
+        from time import perf_counter
+
+        from repro.obs.tracer import CAT_FUSED, CAT_KERNEL
+
+        t0 = perf_counter()
+        phase.run(scale)
+        dur = perf_counter() - t0
+        if isinstance(phase, FusedPhase):
+            name = "+".join(st.node.name for st in phase.stages)
+            cat = CAT_FUSED
+            firings = sum(st.count for st in phase.stages) * scale
+            last = phase.stages[-1].node
+            push = last.out_edges[0].push_rate if last.out_edges else 0
+            items = phase.stages[-1].count * scale * push
+        else:
+            node = phase.node
+            name = node.name
+            cat = CAT_KERNEL
+            firings = phase.count * scale
+            push = node.out_edges[0].push_rate if node.out_edges else 0
+            items = firings * push
+        self.interp.tracer.complete(
+            name, cat, t0, dur, args={"firings": firings, "items": items}
+        )
+
+    def _trace_core(self, core: CoreLoopRunner, scale: int) -> None:
+        from time import perf_counter
+
+        from repro.obs.tracer import CAT_CORE
+
+        t0 = perf_counter()
+        core.run(scale)
+        dur = perf_counter() - t0
+        firings = sum(count for _node, count in core.phases) * scale
+        self.interp.tracer.complete(
+            "core:" + "+".join(sorted(n.name for n in core.nodes)),
+            CAT_CORE,
+            t0,
+            dur,
+            args={"firings": firings, "items": 0},
+        )
+
+    def _run_steady_traced(self, fired: Dict[FlatNode, int], periods: int) -> None:
+        phases = self.steady_phases
+        if self.messaging:
+            for _ in range(periods):
+                self._run_phases_msg(phases)
+        elif self.superbatch:
+            left = periods
+            while left > 0:
+                scale = min(left, self.chunk_periods)
+                for phase in phases:
+                    self._trace_phase(phase, scale)
+                left -= scale
+        elif self.segments is not None:
+            prefix, core, suffix = self.segments
+            left = periods
+            while left > 0:
+                scale = min(left, self.chunk_periods)
+                for phase in prefix:
+                    self._trace_phase(phase, scale)
+                self._trace_core(core, scale)
+                for phase in suffix:
+                    self._trace_phase(phase, scale)
+                left -= scale
+        else:
+            for _ in range(periods):
+                for phase in phases:
+                    self._trace_phase(phase, 1)
+        for phase in phases:
+            for node, count in phase.accounting:
+                fired[node] += count * periods
+
     # -- batched teleport messaging -------------------------------------------
 
     def _run_phases_msg(self, phases: Sequence[object]) -> None:
+        if self.interp.tracer.enabled:
+            self._run_phases_msg_traced(phases)
+            return
+        self._run_phases_msg_plain(phases)
+
+    def _run_phases_msg_traced(self, phases: Sequence[object]) -> None:
+        """Messaging pass with one span per phase (see ``_run_phases_msg``)."""
+        from time import perf_counter
+
+        from repro.obs.tracer import CAT_FUSED, CAT_KERNEL
+
+        interp = self.interp
+        tracer = interp.tracer
+        for phase in phases:
+            t0 = perf_counter()
+            if isinstance(phase, FusedPhase):
+                phase.run(1)
+                tracer.complete(
+                    "+".join(st.node.name for st in phase.stages),
+                    CAT_FUSED,
+                    t0,
+                    perf_counter() - t0,
+                    args={"firings": sum(st.count for st in phase.stages), "items": 0},
+                )
+                continue
+            node = phase.node
+            if node in self._senders:
+                interp._current_node = node
+                work = node.filter.work
+                for _ in range(phase.count):
+                    interp._deliver_before(node)
+                    work()
+                    interp._deliver_after(node)
+                interp._current_node = None
+            elif interp._pending.get(node):
+                self._fire_receiver(phase)
+            else:
+                phase.run(1)
+            push = node.out_edges[0].push_rate if node.out_edges else 0
+            tracer.complete(
+                node.name,
+                CAT_KERNEL,
+                t0,
+                perf_counter() - t0,
+                args={"firings": phase.count, "items": phase.count * push},
+            )
+
+    def _run_phases_msg_plain(self, phases: Sequence[object]) -> None:
         """One pass with messaging semantics intact.
 
         Senders fire one ``work()`` at a time on the real channels (their

@@ -23,7 +23,12 @@ Protocol (the classic Lamport queue):
 * blocking calls spin briefly, then sleep with backoff, re-checking a
   session-wide *abort* flag so a crashed peer unblocks everyone (raising
   :class:`RingAbort`) instead of deadlocking; a stall past ``timeout``
-  seconds raises :class:`RingStall` (suspected deadlock or dead peer).
+  seconds raises :class:`RingStall` (suspected deadlock or dead peer);
+* every blocked wait is *accounted*: producer-side waits (no space —
+  backpressure) and consumer-side waits (no items — starvation) each bump
+  an event count and a nanosecond total in the ring's own control block,
+  so the observability layer (:mod:`repro.obs`) reads cross-process stall
+  statistics without adding a single instruction to the unblocked path.
 
 All rings of one session share a single :class:`RingArena` segment: one
 ``shm_open`` per session, one header holding the abort flag, and a packed
@@ -46,8 +51,14 @@ from repro.runtime.channel import ChannelUnderflow
 
 #: int64 slots reserved for the arena header (slot 0: abort flag).
 _HEADER_SLOTS = 8
-#: int64 slots per ring's control block (slot 0: pushed, slot 8: popped).
+#: int64 slots per ring's control block.  Slot 0: pushed; slot 8: popped.
+#: Stall statistics share the writer's cache line (only the blocked side
+#: writes them, so no new false sharing): slots 1/2 hold the producer's
+#: stall event count and total stall nanoseconds, slots 9/10 the
+#: consumer's.
 _CTRL_SLOTS = 16
+_PROD_STALLS, _PROD_STALL_NS = 1, 2
+_CONS_STALLS, _CONS_STALL_NS = 9, 10
 #: Iterations of pure spinning before the wait loop starts yielding.
 _SPIN_ITERS = 200
 #: Longest backoff sleep (seconds) while blocked on a peer.
@@ -201,6 +212,21 @@ class RingChannel:
     def occupancy(self) -> int:
         return int(self._ctrl[0] - self._ctrl[8])
 
+    def stall_stats(self) -> dict:
+        """Cumulative blocked-wait statistics, both sides, in seconds.
+
+        ``producer_*`` is backpressure (pushes that found no space),
+        ``consumer_*`` is starvation (pops/peeks that found no items).
+        Readable from any process sharing the arena.
+        """
+        ctrl = self._ctrl
+        return {
+            "producer_stalls": int(ctrl[_PROD_STALLS]),
+            "producer_stall_s": float(ctrl[_PROD_STALL_NS]) * 1e-9,
+            "consumer_stalls": int(ctrl[_CONS_STALLS]),
+            "consumer_stall_s": float(ctrl[_CONS_STALL_NS]) * 1e-9,
+        }
+
     def __len__(self) -> int:
         return int(self._ctrl[0] - self._ctrl[8])
 
@@ -230,27 +256,37 @@ class RingChannel:
             ready = lambda: ctrl[0] - ctrl[8] >= need
         if ready():
             return
+        # The blocked path: account the stall (events + nanoseconds) in the
+        # blocked side's own control slots.  The unblocked path above pays
+        # nothing for this.
+        stall_slot = _PROD_STALLS if for_space else _CONS_STALLS
+        ns_slot = _PROD_STALL_NS if for_space else _CONS_STALL_NS
+        t0 = time.perf_counter_ns()
+        ctrl[stall_slot] += 1
         header = self._header
         spins = 0
         deadline: Optional[float] = None
-        while True:
-            if ready():
-                return
-            if header[0]:
-                raise RingAbort(f"ring {self.name!r}: session aborted by a peer")
-            spins += 1
-            if spins <= _SPIN_ITERS:
-                continue
-            if deadline is None:
-                deadline = time.monotonic() + self.timeout
-            elif time.monotonic() > deadline:
-                what = "space" if for_space else "items"
-                raise RingStall(
-                    f"ring {self.name!r}: waited {self.timeout:.0f}s for {need} "
-                    f"{what} (occupancy {self.occupancy}/{self.capacity}); "
-                    "suspected deadlock or dead peer"
-                )
-            time.sleep(min(_MAX_SLEEP, 2e-6 * spins))
+        try:
+            while True:
+                if ready():
+                    return
+                if header[0]:
+                    raise RingAbort(f"ring {self.name!r}: session aborted by a peer")
+                spins += 1
+                if spins <= _SPIN_ITERS:
+                    continue
+                if deadline is None:
+                    deadline = time.monotonic() + self.timeout
+                elif time.monotonic() > deadline:
+                    what = "space" if for_space else "items"
+                    raise RingStall(
+                        f"ring {self.name!r}: waited {self.timeout:.0f}s for {need} "
+                        f"{what} (occupancy {self.occupancy}/{self.capacity}); "
+                        "suspected deadlock or dead peer"
+                    )
+                time.sleep(min(_MAX_SLEEP, 2e-6 * spins))
+        finally:
+            ctrl[ns_slot] += time.perf_counter_ns() - t0
 
     def wait_items(self, count: int) -> None:
         """Block until at least ``count`` items are readable."""

@@ -400,3 +400,33 @@ def delivery_firings(
     if direction == "downstream":
         return max(1, gap // push)
     return max(1, -(-gap // push))
+
+
+def delivery_on_boundary(
+    threshold: Optional[int],
+    delivered_n: int,
+    push: int,
+    direction: str,
+) -> bool:
+    """Did a delivery land exactly on its SDEP boundary?
+
+    ``delivered_n`` is the item count on the receiver's output tape at the
+    moment the message was delivered.  Per the wavefront semantics:
+
+    * ``downstream`` — delivery happens before the first firing that would
+      push past ``threshold``: ``delivered_n <= threshold < delivered_n +
+      push``;
+    * ``upstream`` — delivery happens after the firing that reaches
+      ``threshold``: ``delivered_n - push < threshold <= delivered_n``.
+
+    Best-effort messages (``threshold is None``) have no boundary to land
+    on; they are vacuously on time.  Observability uses this to cross-check
+    recorded teleport latencies against the SDEP computation (ISSUE E12).
+    """
+    if threshold is None:
+        return True
+    if push <= 0:
+        return delivered_n >= threshold if direction == "upstream" else True
+    if direction == "downstream":
+        return delivered_n <= threshold < delivered_n + push
+    return delivered_n - push < threshold <= delivered_n

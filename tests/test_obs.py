@@ -1,0 +1,325 @@
+"""Tests for ``repro.obs`` (streamscope): tracer core, engine integration,
+exporters, the report/validate CLI, and the lint ``--codes`` registry.
+
+The differential tests assert the observability contract from the issue:
+tracing must never change program output (traced and untraced runs are
+bit-identical on every engine), the parallel engine's trace carries one
+track per worker plus ring stall counters, and teleport send→delivery
+records agree with the SDEP wavefront on the frequency-hopping radio.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.apps import ALL_APPS, freqhop
+from repro.errors import EngineDowngradeWarning
+from repro.graph.builtins import CollectSink
+from repro.obs import (
+    CAT_FILTER,
+    CAT_KERNEL,
+    CAT_FUSED,
+    CAT_WORKER,
+    NULL_TRACER,
+    HwmArrayChannel,
+    MemoryTracer,
+    NullTracer,
+    load_trace,
+    trace_summary,
+    validate_trace,
+)
+from repro.obs.__main__ import main as obs_main
+from repro.obs.chrome import track_names
+from repro.runtime import Interpreter
+from repro.scheduling.sdep import delivery_on_boundary
+
+
+def _run_traced(builder, engine, periods=8, trace=True, **opts):
+    """(collected outputs, interpreter) after a closed run."""
+    app = builder()
+    sink = next(f for f in app.filters() if isinstance(f, CollectSink))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", EngineDowngradeWarning)
+        interp = Interpreter(app, check=False, engine=engine, trace=trace, **opts)
+    try:
+        interp.run(periods=periods)
+    finally:
+        interp.close()
+    return list(sink.collected), interp
+
+
+# ---------------------------------------------------------------------------
+# Tracer core
+# ---------------------------------------------------------------------------
+
+
+class TestTracerCore:
+    def test_null_tracer_is_disabled_and_falsy(self):
+        assert NULL_TRACER.enabled is False
+        assert not NULL_TRACER
+        # Every protocol method is a no-op even when called.
+        NULL_TRACER.complete("x", CAT_FILTER, 0.0, 1.0)
+        NULL_TRACER.instant("x", CAT_FILTER)
+        NULL_TRACER.counter("x", {"v": 1.0})
+        NULL_TRACER.name_track(0, "main")
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_memory_tracer_records_spans_and_counters(self):
+        tracer = MemoryTracer()
+        tracer.complete("f", CAT_FILTER, ts=1.0, dur=0.5, args={"firings": 2})
+        tracer.instant("hop", "teleport", tid=1)
+        tracer.counter("ring:a->b", {"producer_stalls": 3})
+        assert len(tracer.events) == 3
+        phases = sorted(e["ph"] for e in tracer.events)
+        assert phases == ["C", "X", "i"]
+
+    def test_capacity_bounds_memory_and_counts_drops(self):
+        tracer = MemoryTracer(capacity=5)
+        for i in range(8):
+            tracer.complete(f"s{i}", CAT_FILTER, ts=float(i), dur=0.1)
+        assert len(tracer.events) == 5
+        assert tracer.dropped == 3
+        # The oldest events fell off; the newest survive.
+        assert [e["name"] for e in tracer.events] == [f"s{i}" for i in range(3, 8)]
+        assert tracer.chrome()["repro"]["dropped_events"] == 3
+
+    def test_chrome_export_rebases_and_names_tracks(self):
+        tracer = MemoryTracer()
+        tracer.name_track(0, "main")
+        tracer.complete("f", CAT_FILTER, ts=100.0, dur=0.25, tid=0)
+        payload = tracer.chrome()
+        assert validate_trace(payload) == []
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert meta and meta[0]["args"]["name"] == "main"
+        span = next(e for e in payload["traceEvents"] if e["ph"] == "X")
+        assert span["ts"] == 0.0  # rebased to the earliest event
+        assert span["dur"] == pytest.approx(0.25e6)  # seconds -> microseconds
+
+    def test_metrics_aggregates_self_time_per_filter(self):
+        tracer = MemoryTracer()
+        for cat in (CAT_FILTER, CAT_KERNEL, CAT_FUSED, CAT_WORKER):
+            tracer.complete("f", cat, ts=0.0, dur=1.0, args={"firings": 2, "items": 4})
+        tracer.complete("other", "engine", ts=0.0, dur=9.0)  # not self-time
+        metrics = tracer.metrics()
+        row = metrics["filters"]["f"]
+        assert row["self_time"] == pytest.approx(4.0)
+        assert row["spans"] == 4
+        assert row["firings"] == 8
+        assert row["items"] == 16
+        assert metrics["workers"][0] == pytest.approx(4.0)
+
+    def test_hwm_channel_tracks_high_water(self):
+        chan = HwmArrayChannel(name="c")
+        for v in range(5):
+            chan.push(float(v))
+        chan.pop()
+        chan.pop()
+        chan.push(9.0)
+        assert chan.high_water == 5
+        assert len(chan) == 4
+
+
+# ---------------------------------------------------------------------------
+# Schema validation
+# ---------------------------------------------------------------------------
+
+
+class TestValidation:
+    def test_rejects_non_object_and_missing_events(self):
+        assert validate_trace([1, 2]) != []
+        assert validate_trace({"no": "traceEvents"}) != []
+
+    def test_rejects_bad_events(self):
+        bad = {
+            "traceEvents": [
+                {"ph": "Z", "name": "x", "ts": 0},          # unknown phase
+                {"ph": "X", "name": "x", "ts": -1, "dur": 1},  # negative ts
+                {"ph": "X", "name": "x", "ts": 0},           # X without dur
+                {"ph": "C", "name": "x", "ts": 0},           # C without args
+                {"ph": "i", "name": "x", "ts": 0, "tid": "a"},  # non-int tid
+            ]
+        }
+        problems = validate_trace(bad)
+        assert len(problems) == 5
+
+
+# ---------------------------------------------------------------------------
+# Engine integration: tracing never changes output
+# ---------------------------------------------------------------------------
+
+
+class TestEngineTracing:
+    @pytest.mark.parametrize("engine", ["scalar", "batched", "parallel"])
+    def test_traced_output_bit_identical(self, engine):
+        opts = {"strategy": "softpipe", "cores": 2} if engine == "parallel" else {}
+        plain, _ = _run_traced(ALL_APPS["FilterBank"], engine, trace=None, **opts)
+        traced, interp = _run_traced(ALL_APPS["FilterBank"], engine, trace=True, **opts)
+        assert traced == plain
+        assert interp.tracer.enabled
+        assert len(interp.tracer.events) > 0
+
+    def test_scalar_trace_has_filter_spans(self):
+        _, interp = _run_traced(ALL_APPS["FMRadio"], "scalar", periods=4)
+        cats = {e["cat"] for e in interp.tracer.events if e["ph"] == "X"}
+        assert CAT_FILTER in cats
+
+    def test_batched_trace_has_kernel_spans_and_plan_cache(self):
+        _, interp = _run_traced(ALL_APPS["FMRadio"], "batched", periods=4)
+        cats = {e["cat"] for e in interp.tracer.events if e["ph"] == "X"}
+        assert cats & {CAT_KERNEL, CAT_FUSED}
+        cache = interp.tracer.meta["plan_cache"]
+        assert cache["hits"] + cache["misses"] >= 1
+
+    def test_parallel_trace_has_worker_tracks_and_ring_counters(self):
+        _, interp = _run_traced(
+            ALL_APPS["FMRadio"], "parallel", periods=12,
+            strategy="softpipe", cores=2,
+        )
+        if interp.engine_used != "parallel":
+            pytest.skip("degenerate partition on this host")
+        payload = interp.tracer.chrome()
+        assert validate_trace(payload) == []
+        span_tids = {
+            e["tid"] for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["cat"] == CAT_WORKER
+        }
+        assert len(span_tids) >= 2, "expected spans on >= 2 worker tracks"
+        names = track_names(payload)
+        assert len(names) >= 2
+        assert any("worker" in n for n in names.values())
+        ring_counters = {
+            e["name"] for e in payload["traceEvents"]
+            if e["ph"] == "C" and e["name"].startswith("ring:")
+        }
+        assert ring_counters, "expected ring stall counter events"
+        # Channel snapshot carries ring stall statistics.
+        rings = [
+            row for row in interp.tracer.meta["channels"].values()
+            if row.get("kind") == "ring" and not row.get("detached")
+        ]
+        assert rings
+        assert all("producer_stalls" in row for row in rings)
+
+    def test_trace_path_writes_file_on_close(self, tmp_path):
+        path = tmp_path / "fm.trace.json"
+        _, interp = _run_traced(ALL_APPS["FMRadio"], "batched", trace=str(path))
+        payload = load_trace(path)  # raises on schema violation
+        summary = trace_summary(payload)
+        assert summary["spans"] > 0
+        assert payload["repro"]["meta"]["engine"] == "batched"
+        assert payload["repro"]["meta"]["engine_report"]["used"] == "batched"
+
+    @pytest.mark.parametrize("engine", ["scalar", "batched", "parallel"])
+    def test_engine_report_shape(self, engine):
+        opts = {"strategy": "softpipe", "cores": 2} if engine == "parallel" else {}
+        _, interp = _run_traced(ALL_APPS["FilterBank"], engine, trace=None, **opts)
+        report = interp.engine_report()
+        assert report["requested"] == engine
+        assert report["used"] == interp.engine_used
+        assert isinstance(report["downgrades"], list)
+        for d in report["downgrades"]:
+            assert d["code"].startswith("SL3")
+        if interp.plan is not None:
+            vec = report["vectorization"]
+            assert vec and all("kind" in row for row in vec.values())
+        if engine == "parallel" and interp.engine_used == "parallel":
+            assert "parallel" in report
+
+    def test_vectorization_report_modes(self):
+        _, interp = _run_traced(ALL_APPS["FIR"], "batched", trace=None)
+        vec = interp.plan.vectorization_report()
+        assert vec
+        for row in vec.values():
+            assert {"kind", "trusted", "code", "reason"} <= set(row)
+        # The run resolved executors, so nothing is left untried.
+        assert all(row["kind"] != "untried" for row in vec.values())
+
+
+# ---------------------------------------------------------------------------
+# Teleport latency vs SDEP
+# ---------------------------------------------------------------------------
+
+
+class TestTeleportTracing:
+    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    def test_freqhop_deliveries_land_on_sdep_boundaries(self, engine):
+        _, interp = _run_traced(freqhop.build_teleport, engine, periods=64)
+        records = interp.tracer.meta["teleports"]
+        delivered = [r for r in records if r["delivered_n"] is not None]
+        assert delivered, "expected at least one delivered teleport message"
+        for rec in delivered:
+            assert rec["sdep_ok"] is True, rec
+            # Recompute the boundary check from the raw counters.
+            assert delivery_on_boundary(
+                rec["threshold"], rec["delivered_n"], rec["push"], rec["direction"]
+            )
+            if rec["threshold"] is not None and rec["push"]:
+                expected = (rec["delivered_n"] - rec["sent_n"]) // rec["push"]
+                assert rec["latency_iterations"] == expected
+
+
+# ---------------------------------------------------------------------------
+# CLI: python -m repro.obs {report,validate}
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        path = tmp_path / "fm.trace.json"
+        _run_traced(ALL_APPS["FMRadio"], "batched", trace=str(path))
+        return path
+
+    def test_validate_ok(self, trace_file, capsys):
+        assert obs_main(["validate", str(trace_file)]) == 0
+        assert "valid Chrome trace" in capsys.readouterr().out
+
+    def test_validate_min_tracks_gate(self, trace_file):
+        assert obs_main(["validate", str(trace_file), "--min-tracks", "99"]) == 1
+
+    def test_validate_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert obs_main(["validate", str(bad)]) == 1
+        schema_bad = tmp_path / "schema.json"
+        schema_bad.write_text(json.dumps({"traceEvents": [{"ph": "Q"}]}))
+        assert obs_main(["validate", str(schema_bad)]) == 1
+
+    def test_report_renders_table(self, trace_file, capsys):
+        assert obs_main(["report", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "streamscope report" in out
+        assert "self ms" in out
+        assert "engine: requested 'batched'" in out
+
+    def test_report_top_limits_rows(self, trace_file, capsys):
+        assert obs_main(["report", str(trace_file), "--top", "1"]) == 0
+
+
+# ---------------------------------------------------------------------------
+# Lint --codes registry
+# ---------------------------------------------------------------------------
+
+
+class TestLintCodes:
+    def test_every_code_has_a_description(self):
+        from repro.analysis.diagnostics import CODES, CODE_DESCRIPTIONS
+
+        assert set(CODES) == set(CODE_DESCRIPTIONS)
+        assert all(CODE_DESCRIPTIONS[c] for c in CODES)
+
+    def test_codes_flag_lists_registry(self, capsys):
+        from repro.analysis.diagnostics import CODES
+        from repro.analysis.lint import main as lint_main
+
+        assert lint_main(["--codes"]) == 0
+        out = capsys.readouterr().out
+        for code in CODES:
+            assert code in out
+
+    def test_targets_required_without_codes(self):
+        from repro.analysis.lint import main as lint_main
+
+        with pytest.raises(SystemExit):
+            lint_main([])

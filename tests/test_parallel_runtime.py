@@ -10,6 +10,7 @@ every mapping strategy and require bit-identical output or a structured
 ``SL304`` downgrade — never a crash.
 """
 
+import gc
 import threading
 import time
 import warnings
@@ -222,6 +223,35 @@ class TestWorkerLifecycle:
         interp.close()
         with pytest.raises(StreamItError, match="closed"):
             interp.run_steady(1)
+
+    def test_worker_error_carries_slice_and_iteration(self):
+        # A fuse long enough that the bomb survives init and explodes in
+        # steady state, where the command carries slice/iteration context.
+        app = _chain_app(_BombFilter(fuse=30))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", EngineDowngradeWarning)
+            interp = Interpreter(
+                app, engine="parallel", strategy="softpipe", cores=2, trace=True
+            )
+        if interp.engine_used != "parallel":
+            pytest.skip("degenerate partition on this host")
+        with pytest.raises(StreamItError, match="bomb") as excinfo:
+            interp.run(periods=100)
+        message = str(excinfo.value)
+        assert "schedule slice" in message
+        assert "steady iteration" in message
+        # The traced run records the same context as a worker_error event.
+        errors = [
+            e for e in interp.tracer.events if e.get("name") == "worker_error"
+        ]
+        assert errors and errors[0]["args"]["filter"] == "bomb"
+        assert "schedule_slice" in errors[0]["args"]
+        assert "steady_iteration" in errors[0]["args"]
+        interp.close()
+        # The captured traceback's frames pin ring views; drop them while
+        # the arena is still alive so its shared memory can finalize cleanly.
+        del excinfo
+        gc.collect()
 
     def test_cancellation_mid_session_leaves_no_orphans(self):
         app = _chain_app(Identity())
