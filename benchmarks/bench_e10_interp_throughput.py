@@ -1,26 +1,28 @@
-"""E10 — batched execution engine: interpreter throughput, scalar vs batched.
+"""E10 — execution-engine throughput: scalar vs batched vs codegen.
 
-Measures end-to-end items/second under both execution engines for the full
-evaluation suite (all 12 evaluation apps plus the linear apps) and writes
-the results to ``BENCH_interp.json`` at the repository root.  Workloads are
+Measures end-to-end items/second under the batched *and* whole-program
+codegen engines (scalar as the common baseline) for the full evaluation
+suite (all 12 evaluation apps plus the linear apps) and writes the results
+to ``BENCH_interp.json`` at the repository root.  Workloads are
 deterministic: every app builder uses pinned seeds, and the period count per
 app is pinned below (sized so the scalar measurement runs ~1-2 s, which
-keeps the much shorter batched measurement well above timer noise).
+keeps the much shorter engine measurements well above timer noise).
 
 The batched engine's bar: at least 10x on the linear-suite style apps
 (FIR/Oversampler class), at least 10x on the previously-unkerneled apps
 (Vocoder, DES), and at least 2x geometric mean across the benchmarked set.
-DToA, the former structural straggler (its unit-delay feedback loop forced
-per-firing execution), now runs its cyclic core through the hoisted
-tape-loop runner (``plan.CoreLoopRunner``) and clears 10x as well.
+The codegen engine's bar: it must dominate where dispatch dominated — DToA
+(unit-delay feedback core, period-at-a-time under batched) must clear 25x.
 
 Run standalone (CI uses ``--smoke`` for a quick correctness pass at tiny
 period counts and ``--guard`` as the perf regression guard: FIR alone at
-full scale must stay >= 50x and within 2% of the committed
-``BENCH_guard.json`` number with tracing disabled, and the full table at
-reduced scale must keep its geomean >= 100x)::
+full scale must stay >= 50x on both engines and within 2% of the committed
+``BENCH_guard.json`` number with tracing disabled, DToA under codegen must
+stay >= 25x, and the full table at reduced scale must keep its batched
+geomean >= 100x)::
 
-    PYTHONPATH=src python benchmarks/bench_e10_interp_throughput.py [--smoke|--guard]
+    PYTHONPATH=src python benchmarks/bench_e10_interp_throughput.py \\
+        [--smoke|--guard|--engine batched|--engine codegen]
 """
 
 import json
@@ -58,11 +60,15 @@ APPS = (
     ("Vocoder", 8000),
 )
 
+#: Engines measured against the scalar baseline; ``--engine <name>``
+#: restricts the run to one of them (scalar is always measured).
+MEASURED_ENGINES = ("batched", "codegen")
+
 _cache = {}
 
 
-def run_bench(periods_scale: float = 1.0):
-    """Measure both engines on each app; returns the serializable table."""
+def run_bench(periods_scale: float = 1.0, engines=MEASURED_ENGINES):
+    """Measure the requested engines on each app; returns the table."""
     if _cache:
         return _cache
     with warnings.catch_warnings():
@@ -71,8 +77,9 @@ def run_bench(periods_scale: float = 1.0):
             build = ALL_APPS[name]
             periods = max(1, int(periods * periods_scale))
             # Best-of-k: wall-clock throughput on a shared machine is noisy,
-            # and the batched measurements are short; the fastest repeat is
-            # the least-perturbed one.
+            # and the engine measurements are short; the fastest repeat is
+            # the least-perturbed one.  measure_throughput's warmup run
+            # absorbs one-time plan compilation and codegen materialization.
             scalar = max(
                 (
                     measure_throughput(
@@ -82,49 +89,76 @@ def run_bench(periods_scale: float = 1.0):
                 ),
                 key=lambda s: s.items_per_second,
             )
-            batched = max(
-                (
-                    measure_throughput(
-                        build, periods, label=f"{name}/batched", engine="batched"
-                    )
-                    for _ in range(3)
-                ),
-                key=lambda s: s.items_per_second,
-            )
-            # Attribution column from a short traced run (separate from the
-            # timed measurements above, so those stay untraced).
-            breakdown, _ = time_breakdown(
-                build, max(2, periods // 50), engine="batched"
-            )
-            _cache[name] = {
+            row = {
                 "periods": periods,
                 "outputs": scalar.outputs,
                 "scalar_items_per_sec": scalar.items_per_second,
-                "batched_items_per_sec": batched.items_per_second,
-                "speedup": batched.items_per_second / scalar.items_per_second,
-                "time_breakdown": breakdown,
             }
-    _cache["geomean_speedup"] = geometric_mean(
-        [row["speedup"] for row in _cache.values()]
-    )
+            for engine in engines:
+                best = max(
+                    (
+                        measure_throughput(
+                            build, periods, label=f"{name}/{engine}", engine=engine
+                        )
+                        for _ in range(3)
+                    ),
+                    key=lambda s: s.items_per_second,
+                )
+                row[f"{engine}_items_per_sec"] = best.items_per_second
+                key = "speedup" if engine == "batched" else f"speedup_{engine}"
+                row[key] = best.items_per_second / scalar.items_per_second
+            # Attribution column from a short traced run (separate from the
+            # timed measurements above, so those stay untraced).
+            if "batched" in engines:
+                breakdown, _ = time_breakdown(
+                    build, max(2, periods // 50), engine="batched"
+                )
+                row["time_breakdown"] = breakdown
+            _cache[name] = row
+    if "batched" in engines:
+        _cache["geomean_speedup"] = geometric_mean(
+            [row["speedup"] for row in _cache.values()]
+        )
+    if "codegen" in engines:
+        _cache["geomean_speedup_codegen"] = geometric_mean(
+            [
+                row["speedup_codegen"]
+                for row in _cache.values()
+                if isinstance(row, dict) and "speedup_codegen" in row
+            ]
+        )
     return _cache
+
+
+def _ips(value) -> str:
+    return f"{value:14.0f}" if value is not None else f"{'':14s}"
+
+
+def _sp(value) -> str:
+    return f"{value:9.1f}x" if value is not None else f"{'':10s}"
 
 
 def render(table) -> str:
     lines = [
-        "== E10: interpreter throughput — scalar vs batched engine ==",
+        "== E10: interpreter throughput — scalar vs batched vs codegen ==",
         f"{'Benchmark':16s}{'scalar it/s':>14s}{'batched it/s':>14s}{'speedup':>10s}"
-        "  time breakdown (traced)",
+        f"{'codegen it/s':>14s}{'speedup':>10s}"
+        "  time breakdown (traced, batched)",
     ]
     for name, row in table.items():
-        if name == "geomean_speedup":
+        if not isinstance(row, dict):
             continue
         lines.append(
             f"{name:16s}{row['scalar_items_per_sec']:14.0f}"
-            f"{row['batched_items_per_sec']:14.0f}{row['speedup']:9.1f}x"
+            f"{_ips(row.get('batched_items_per_sec'))}{_sp(row.get('speedup'))}"
+            f"{_ips(row.get('codegen_items_per_sec'))}"
+            f"{_sp(row.get('speedup_codegen'))}"
             f"  {row.get('time_breakdown', '')}"
         )
-    lines.append(f"{'geomean':16s}{'':14s}{'':14s}{table['geomean_speedup']:9.1f}x")
+    lines.append(
+        f"{'geomean':16s}{'':14s}{'':14s}{_sp(table.get('geomean_speedup'))}"
+        f"{'':14s}{_sp(table.get('geomean_speedup_codegen'))}"
+    )
     return "\n".join(lines)
 
 
@@ -133,13 +167,23 @@ def write_results(table) -> None:
 
 
 def _check(table) -> None:
-    speedups = {n: r["speedup"] for n, r in table.items() if n != "geomean_speedup"}
+    rows = {n: r for n, r in table.items() if isinstance(r, dict)}
+    speedups = {n: r["speedup"] for n, r in rows.items()}
     linear_10x = [n for n in speedups if n in LINEAR_SUITE and speedups[n] >= 10.0]
     assert len(linear_10x) >= 2, f"need >=10x on 2 linear-suite apps, got {speedups}"
     assert speedups["FIR"] >= 50.0, f"FIR regressed below 50x: {speedups['FIR']:.1f}"
     for name in ("Vocoder", "DES"):
         assert speedups[name] >= 10.0, f"{name} below 10x: {speedups[name]:.1f}"
     assert table["geomean_speedup"] >= 2.0, f"geomean {table['geomean_speedup']:.2f} < 2"
+    # Codegen gates: the whole point is killing dispatch where it dominated.
+    cg = {n: r["speedup_codegen"] for n, r in rows.items() if "speedup_codegen" in r}
+    if cg:
+        assert cg["DToA"] >= DTOA_CODEGEN_FLOOR, (
+            f"DToA codegen below {DTOA_CODEGEN_FLOOR:.0f}x: {cg['DToA']:.1f}"
+        )
+        assert cg["FIR"] >= 50.0, f"FIR codegen below 50x: {cg['FIR']:.1f}"
+        geo = table["geomean_speedup_codegen"]
+        assert geo >= 2.0, f"codegen geomean {geo:.2f} < 2"
 
 
 def test_e10_batched_engine_speedup(report):
@@ -159,9 +203,10 @@ def _delta_table(measured) -> str:
     except (OSError, ValueError):
         return "(no committed BENCH_interp.json baseline to diff against)"
     for name, row in measured.items():
-        if name == "geomean_speedup":
+        if not isinstance(row, dict):
             continue
-        base = baseline.get(name, {}).get("speedup")
+        base = baseline.get(name, {})
+        base = base.get("speedup") if isinstance(base, dict) else None
         if base is None:
             continue
         delta = 100.0 * (row["speedup"] - base) / base
@@ -177,6 +222,13 @@ def _delta_table(measured) -> str:
 GUARD_SCALE = 0.5
 GUARD_GEOMEAN_FLOOR = 100.0
 
+#: Per-app floor for DToA under codegen, at full scale.  DToA was the
+#: structural straggler (unit-delay feedback loop → period-at-a-time under
+#: batched, ~15x); the inlined closed loop measures ~60x, so a 25x floor
+#: catches any regression back toward dispatch-bound without flaking on
+#: shared-runner noise.
+DTOA_CODEGEN_FLOOR = 25.0
+
 
 #: Tracing-disabled overhead tolerance for the guard's third gate: the
 #: measured FIR speedup (tracing plumbed in but *off*) must stay within this
@@ -186,20 +238,26 @@ TRACE_OVERHEAD_TOL = 0.02
 
 
 def run_guard() -> None:
-    """CI perf guard: the batched engine must not regress.
+    """CI perf guard: neither fast engine may regress.
 
-    Three gates, cheapest first:
+    Five gates, cheapest first:
 
-    1. FIR alone at full scale stays >= 50x (the whole fast path — generic
-       lift, fusion, superbatching — in a few seconds).
-    2. The same measurement, with tracing *disabled* (the default), stays
-       within ``TRACE_OVERHEAD_TOL`` (2%) of the FIR speedup recorded in the
-       committed ``BENCH_guard.json`` — the streamscope instrumentation must
-       be free when off.  Speedup is a scalar/batched ratio, so the gate is
-       machine-normalized; ``STREAMSCOPE_GUARD_TOL`` widens it if a runner
-       is too noisy.
-    3. The full table at ``GUARD_SCALE`` keeps its geometric-mean speedup
-       >= 100x; on a trip the per-app delta against the committed
+    1. FIR alone at full scale stays >= 50x under the batched engine (the
+       whole fast path — generic lift, fusion, superbatching — in seconds).
+    2. FIR alone at full scale stays >= 50x under the codegen engine (the
+       whole codegen path — emission, splice, cache, fused straight-line
+       loop).
+    3. DToA at full scale stays >= ``DTOA_CODEGEN_FLOOR`` under codegen —
+       the former structural straggler can't silently regress back to
+       dispatch-bound after codegen lifted it.
+    4. The batched FIR measurement, with tracing *disabled* (the default),
+       stays within ``TRACE_OVERHEAD_TOL`` (2%) of the FIR speedup recorded
+       in the committed ``BENCH_guard.json`` — the streamscope
+       instrumentation must be free when off.  Speedup is a scalar/batched
+       ratio, so the gate is machine-normalized; ``STREAMSCOPE_GUARD_TOL``
+       widens it if a runner is too noisy.
+    5. The full table at ``GUARD_SCALE`` keeps its batched geometric-mean
+       speedup >= 100x; on a trip the per-app delta against the committed
        ``BENCH_interp.json`` shows which app regressed.
 
     Writes ``BENCH_guard.json`` for artifact upload.
@@ -217,6 +275,42 @@ def run_guard() -> None:
     speedup = batched.items_per_second / scalar.items_per_second
     print(f"guard: {name} batched/scalar = {speedup:.1f}x (floor 50x)")
     assert speedup >= 50.0, f"perf guard tripped: FIR {speedup:.1f}x < 50x"
+
+    codegen = max(
+        (measure_throughput(build, periods, engine="codegen") for _ in range(3)),
+        key=lambda s: s.items_per_second,
+    )
+    fir_codegen = codegen.items_per_second / scalar.items_per_second
+    print(f"guard: {name} codegen/scalar = {fir_codegen:.1f}x (floor 50x)")
+    assert fir_codegen >= 50.0, (
+        f"perf guard tripped: FIR codegen {fir_codegen:.1f}x < 50x"
+    )
+
+    dtoa_periods = dict(APPS)["DToA"]
+    dtoa_build = ALL_APPS["DToA"]
+    dtoa_scalar = max(
+        (
+            measure_throughput(dtoa_build, dtoa_periods, engine="scalar")
+            for _ in range(2)
+        ),
+        key=lambda s: s.items_per_second,
+    )
+    dtoa_codegen = max(
+        (
+            measure_throughput(dtoa_build, dtoa_periods, engine="codegen")
+            for _ in range(3)
+        ),
+        key=lambda s: s.items_per_second,
+    )
+    dtoa_speedup = dtoa_codegen.items_per_second / dtoa_scalar.items_per_second
+    print(
+        f"guard: DToA codegen/scalar = {dtoa_speedup:.1f}x "
+        f"(floor {DTOA_CODEGEN_FLOOR:.0f}x)"
+    )
+    assert dtoa_speedup >= DTOA_CODEGEN_FLOOR, (
+        f"perf guard tripped: DToA codegen {dtoa_speedup:.1f}x < "
+        f"{DTOA_CODEGEN_FLOOR:.0f}x"
+    )
 
     tol = float(os.environ.get("STREAMSCOPE_GUARD_TOL", TRACE_OVERHEAD_TOL))
     baseline_fir = None
@@ -241,13 +335,26 @@ def run_guard() -> None:
     (REPO_ROOT / "BENCH_guard.json").write_text(
         json.dumps(
             {
-                "FIR": {"periods": periods, "speedup": speedup},
+                "FIR": {
+                    "periods": periods,
+                    "speedup": speedup,
+                    "speedup_codegen": fir_codegen,
+                },
+                "DToA": {
+                    "periods": dtoa_periods,
+                    "speedup_codegen": dtoa_speedup,
+                    "codegen_floor": DTOA_CODEGEN_FLOOR,
+                },
                 "guard_scale": GUARD_SCALE,
                 "geomean_speedup": geomean,
+                "geomean_speedup_codegen": table.get("geomean_speedup_codegen"),
                 "apps": {
-                    n: {"speedup": r["speedup"]}
+                    n: {
+                        "speedup": r["speedup"],
+                        "speedup_codegen": r.get("speedup_codegen"),
+                    }
                     for n, r in table.items()
-                    if n != "geomean_speedup"
+                    if isinstance(r, dict)
                 },
             },
             indent=2,
@@ -269,10 +376,16 @@ if __name__ == "__main__":
     if "--guard" in sys.argv:
         run_guard()
         sys.exit(0)
+    engines = MEASURED_ENGINES
+    if "--engine" in sys.argv:
+        requested = sys.argv[sys.argv.index("--engine") + 1]
+        if requested not in MEASURED_ENGINES:
+            sys.exit(f"--engine must be one of {MEASURED_ENGINES}, got {requested!r}")
+        engines = (requested,)
     smoke = "--smoke" in sys.argv
-    table = run_bench(periods_scale=0.002 if smoke else 1.0)
+    table = run_bench(periods_scale=0.002 if smoke else 1.0, engines=engines)
     print(render(table))
-    if not smoke:
+    if not smoke and engines == MEASURED_ENGINES:
         write_results(table)
         _check(table)
         print(f"\nwrote {RESULT_PATH}")

@@ -65,6 +65,7 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "SL302": (Severity.WARNING, "engine-scalar-fallback"),
     "SL303": (Severity.WARNING, "superbatch-degraded"),
     "SL304": (Severity.WARNING, "engine-parallel-fallback"),
+    "SL305": (Severity.WARNING, "codegen-fallback"),
 }
 
 #: code -> one-line description, rendered by ``streamlint --codes``.  Keep
@@ -87,6 +88,7 @@ CODE_DESCRIPTIONS: Dict[str, str] = {
     "SL302": "engine request downgraded to the scalar interpreter",
     "SL303": "superbatching degraded: a feedback core runs period-at-a-time",
     "SL304": "engine request downgraded from parallel to batched execution",
+    "SL305": "whole-program codegen fell back to executor calls for some or all blocks",
 }
 
 

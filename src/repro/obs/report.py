@@ -159,4 +159,17 @@ def render_report(payload: Dict[str, Any], top: Optional[int] = None) -> str:
             f"plan cache: {cache.get('hits', 0)} hit(s), "
             f"{cache.get('misses', 0)} miss(es)"
         )
+    cg = meta.get("codegen_cache")
+    if cg:
+        lines.append(
+            f"codegen cache: memory {cg.get('mem_hits', 0)} hit(s) / "
+            f"{cg.get('mem_misses', 0)} miss(es) "
+            f"({cg.get('mem_size', 0)}/{cg.get('mem_max', 0)} modules), "
+            f"disk {cg.get('disk_hits', 0)} hit(s) / "
+            f"{cg.get('disk_misses', 0)} miss(es) "
+            f"({cg.get('disk_size', 0)} files in {cg.get('disk_dir', '?')})"
+        )
+        evictions = cg.get("mem_evictions", 0) + cg.get("disk_evictions", 0)
+        if evictions:
+            lines.append(f"  codegen cache evictions: {evictions}")
     return "\n".join(lines)

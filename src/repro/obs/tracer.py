@@ -37,12 +37,15 @@ CAT_KERNEL = "batch_kernel"  # batched-engine block-kernel executions
 CAT_FUSED = "fused_chain"    # batched-engine fused-chain composites
 CAT_CORE = "core_loop"       # CoreLoopRunner chunks (cyclic cores)
 CAT_WORKER = "worker"        # parallel-engine per-worker firings
+CAT_CODEGEN = "codegen"      # codegen-engine generated-module chunks
 CAT_TELEPORT = "teleport"    # message send/delivery instants
 CAT_PLAN = "plan"            # plan compilation, cache hits/misses
 CAT_META = "meta"            # run-level annotations (errors, reports)
 
 #: Span categories whose durations count as filter self-time in reports.
-SELF_TIME_CATS = frozenset({CAT_FILTER, CAT_KERNEL, CAT_FUSED, CAT_CORE, CAT_WORKER})
+SELF_TIME_CATS = frozenset(
+    {CAT_FILTER, CAT_KERNEL, CAT_FUSED, CAT_CORE, CAT_WORKER, CAT_CODEGEN}
+)
 
 
 class Tracer:

@@ -3,6 +3,12 @@
 from repro.errors import EngineDowngradeWarning
 from repro.runtime.array_channel import ArrayChannel
 from repro.runtime.channel import Channel, ChannelUnderflow
+from repro.runtime.codegen import (
+    CodegenPlan,
+    clear_codegen_cache,
+    codegen_cache_stats,
+    codegen_cache_summary,
+)
 from repro.runtime.interpreter import ENGINES, Interpreter, run_to_list
 from repro.runtime.messaging import BEST_EFFORT, PendingMessage, Portal, TimeInterval
 from repro.runtime.plan import (
@@ -10,6 +16,7 @@ from repro.runtime.plan import (
     clear_plan_cache,
     compile_and_run,
     plan_cache_stats,
+    plan_cache_summary,
 )
 from repro.runtime.parallel import ParallelSession, ParallelUnsafe
 from repro.runtime.ring import RingAbort, RingArena, RingChannel, RingStall
@@ -20,6 +27,7 @@ __all__ = [
     "BatchExecutor",
     "Channel",
     "ChannelUnderflow",
+    "CodegenPlan",
     "ENGINES",
     "EngineDowngradeWarning",
     "ExecutionPlan",
@@ -30,9 +38,13 @@ __all__ = [
     "RingArena",
     "RingChannel",
     "RingStall",
+    "clear_codegen_cache",
     "clear_plan_cache",
+    "codegen_cache_stats",
+    "codegen_cache_summary",
     "compile_and_run",
     "plan_cache_stats",
+    "plan_cache_summary",
     "run_to_list",
     "Portal",
     "TimeInterval",

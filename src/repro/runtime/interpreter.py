@@ -30,6 +30,13 @@ engines"):
   cross-worker edges.  Graphs the parallel engine cannot run safely
   (teleport portals, dynamic-rate filters, degenerate partitions)
   downgrade to ``engine="batched"`` with an ``SL304`` diagnostic.
+* ``engine="codegen"`` — a :class:`~repro.runtime.codegen.CodegenPlan`
+  generates one fused source module per plan (kernels spliced inline,
+  fused chains unrolled, the feedback core an inlined closed loop) and
+  executes ``run_chunk(scale)`` directly — no per-block dispatch loop.
+  Unliftable blocks fall back to their batched executors and teleport
+  messaging disables codegen for the whole plan, both reported with an
+  ``SL305`` diagnostic.
 """
 
 from __future__ import annotations
@@ -50,7 +57,7 @@ from repro.scheduling.sdep import WavefrontOracle
 from repro.scheduling.steady import ProgramSchedule, build_schedule
 
 #: Valid values for ``Interpreter(engine=...)``.
-ENGINES = ("scalar", "batched", "parallel")
+ENGINES = ("scalar", "batched", "parallel", "codegen")
 
 
 class Interpreter:
@@ -61,9 +68,10 @@ class Interpreter:
         check: run full semantic validation before executing.
         engine: ``"scalar"`` (reference, one ``work()`` per firing),
             ``"batched"`` (compiled plan over array channels; teleport
-            portals run batched period-at-a-time), or ``"parallel"``
+            portals run batched period-at-a-time), ``"parallel"``
             (batched executors across forked worker processes; see
-            :mod:`repro.runtime.parallel`).
+            :mod:`repro.runtime.parallel`), or ``"codegen"`` (one fused
+            generated module per plan; see :mod:`repro.runtime.codegen`).
         strict: with ``engine="batched"`` or ``engine="parallel"``, raise
             :class:`StreamItError` instead of emitting
             :class:`EngineDowngradeWarning` when the request cannot be
@@ -176,7 +184,7 @@ class Interpreter:
                     code="SL304",
                 )
                 engine = "batched"
-        batched = engine == "batched"
+        batched = engine in ("batched", "codegen")
         if batched and self.has_messaging and not single_topological_sweep(
             self.graph, self.program.steady
         ):
@@ -214,14 +222,22 @@ class Interpreter:
         for portal in portals:
             portal.bind(self)
         if batched and self.parallel is None:
-            self.plan = ExecutionPlan(self)
-            if not self.plan.superbatch and not self.has_messaging:
-                self._engine_downgrade(
-                    "feedback loop interleaves the steady schedule; batched "
-                    "execution degrades to segmented superbatching (the "
-                    "cyclic core runs period-at-a-time)",
-                    code="SL303",
-                )
+            if engine == "codegen":
+                from repro.runtime.codegen import CodegenPlan
+
+                # No SL303 here: a segmented schedule is codegen's home
+                # turf (the cyclic core inlines into the generated loop);
+                # any genuine degradation surfaces as SL305 instead.
+                self.plan = CodegenPlan(self)
+            else:
+                self.plan = ExecutionPlan(self)
+                if not self.plan.superbatch and not self.has_messaging:
+                    self._engine_downgrade(
+                        "feedback loop interleaves the steady schedule; batched "
+                        "execution degrades to segmented superbatching (the "
+                        "cyclic core runs period-at-a-time)",
+                        code="SL303",
+                    )
 
     def _engine_downgrade(self, reason: str, code: str = "SL302") -> None:
         diagnostic = None
@@ -233,7 +249,9 @@ class Interpreter:
         except Exception:  # pragma: no cover - analysis layer unavailable
             pass
         if self.strict:
-            raise StreamItError(f"engine='batched' strict mode: [{code}] {reason}")
+            raise StreamItError(
+                f"engine={self.engine!r} strict mode: [{code}] {reason}"
+            )
         warning = EngineDowngradeWarning(f"[{code}] {reason}")
         warning.diagnostic = diagnostic
         warnings.warn(warning, stacklevel=4)
@@ -243,7 +261,11 @@ class Interpreter:
         """The engine actually executing (after any structured downgrade)."""
         if self.parallel is not None:
             return "parallel"
-        return "batched" if self.plan is not None else "scalar"
+        if self.plan is None:
+            return "scalar"
+        if getattr(self.plan, "codegen_active", False):
+            return "codegen"
+        return "batched"
 
     def engine_report(self) -> Dict[str, Any]:
         """Structured engine outcome: which engine ran, why it degraded.
@@ -264,6 +286,12 @@ class Interpreter:
         }
         if self.plan is not None:
             report["vectorization"] = self.plan.vectorization_report()
+            from repro.runtime.plan import plan_cache_summary
+
+            report["plan_cache"] = plan_cache_summary()
+            codegen_report = getattr(self.plan, "codegen_report", None)
+            if codegen_report is not None:
+                report["codegen"] = codegen_report()
         if self.parallel is not None:
             report["parallel"] = self.parallel.layout_report()
         return report
@@ -663,6 +691,10 @@ class Interpreter:
         tracer.meta["engine_report"] = self.engine_report()
         if self.plan is not None:
             tracer.meta["plan_cache"] = dict(self.plan.cache_stats)
+        if getattr(self.plan, "codegen_active", False):
+            from repro.runtime.codegen import codegen_cache_summary
+
+            tracer.meta["codegen_cache"] = codegen_cache_summary()
         if self._trace_path is not None:
             tracer.write(self._trace_path)
             self._trace_path = None

@@ -208,13 +208,22 @@ _PLAN_CACHE: "OrderedDict[tuple, dict]" = OrderedDict()
 _PLAN_CACHE_MAX = 128
 
 #: Cumulative cache statistics (for tests and diagnostics).
-plan_cache_stats = {"hits": 0, "misses": 0}
+plan_cache_stats = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def clear_plan_cache() -> None:
     _PLAN_CACHE.clear()
     plan_cache_stats["hits"] = 0
     plan_cache_stats["misses"] = 0
+    plan_cache_stats["evictions"] = 0
+
+
+def plan_cache_summary() -> Dict[str, int]:
+    """Counters plus current size/bound of the in-memory analysis cache."""
+    summary: Dict[str, int] = dict(plan_cache_stats)
+    summary["size"] = len(_PLAN_CACHE)
+    summary["max"] = _PLAN_CACHE_MAX
+    return summary
 
 
 def _plan_signature(graph: FlatGraph, program, senders, receivers) -> tuple:
@@ -601,6 +610,7 @@ class ExecutionPlan:
             _PLAN_CACHE[signature] = analysis
             while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
                 _PLAN_CACHE.popitem(last=False)
+                plan_cache_stats["evictions"] += 1
         self.single_sweep: bool = analysis["single_sweep"]
         self.superbatch: bool = analysis["superbatch"]
         self.chunk_periods: int = analysis["chunk_periods"]

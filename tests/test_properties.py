@@ -363,9 +363,31 @@ def _run_engine(build, engine, periods, **engine_opts):
     return list(sink.collected), interp
 
 
+@pytest.fixture(scope="module", autouse=True)
+def _isolated_codegen_cache():
+    """Keep fuzz-generated codegen modules out of the repo's cache dir."""
+    import os
+    import tempfile
+
+    from repro.runtime import clear_codegen_cache
+
+    old = os.environ.get("REPRO_CODEGEN_CACHE")
+    with tempfile.TemporaryDirectory() as tmp:
+        os.environ["REPRO_CODEGEN_CACHE"] = tmp
+        clear_codegen_cache()
+        yield
+    if old is None:
+        os.environ.pop("REPRO_CODEGEN_CACHE", None)
+    else:
+        os.environ["REPRO_CODEGEN_CACHE"] = old
+    clear_codegen_cache()
+
+
 class TestBatchedEngineDifferential:
-    """Randomized scalar-vs-batched differential tests: every generated graph
-    must produce bit-identical outputs on both engines."""
+    """Randomized engine-differential tests: every generated graph must
+    produce bit-identical outputs on the scalar, batched, and codegen
+    engines (a three-way matrix — the codegen module splices the same
+    kernels the batched plan runs, so it inherits the same contract)."""
 
     @settings(max_examples=25, deadline=None)
     @given(seed=st.integers(min_value=0, max_value=10_000))
@@ -387,6 +409,9 @@ class TestBatchedEngineDifferential:
         batched, interp = _run_engine(build, "batched", 5)
         assert interp.engine_used == "batched"
         assert batched == scalar
+        generated, cg_interp = _run_engine(build, "codegen", 5)
+        assert cg_interp.engine_used == "codegen"
+        assert generated == scalar
 
     @settings(max_examples=12, deadline=None)
     @given(
@@ -418,6 +443,9 @@ class TestBatchedEngineDifferential:
         assert not interp.plan.superbatch
         assert interp.plan.segments is not None
         assert batched == scalar
+        generated, cg_interp = _run_engine(build, "codegen", 6)
+        assert cg_interp.engine_used == "codegen"
+        assert generated == scalar
 
     @settings(max_examples=12, deadline=None)
     @given(
@@ -447,6 +475,11 @@ class TestBatchedEngineDifferential:
         assert scalar_interp.has_messaging
         assert interp.engine_used == "batched"
         assert batched == scalar
+        # Teleport messaging disables codegen for the whole plan (SL305):
+        # the request must still run, batched, with identical output.
+        generated, cg_interp = _run_engine(build, "codegen", 8)
+        assert cg_interp.engine_used in ("batched", "scalar")
+        assert generated == scalar
 
     @settings(max_examples=20, deadline=None)
     @given(seed=st.integers(min_value=0, max_value=10_000))
@@ -523,6 +556,9 @@ class TestBatchedEngineDifferential:
         batched, interp = _run_engine(build, "batched", 7)
         assert interp.plan.fused_chains, "expected at least one fused chain"
         assert batched == scalar
+        generated, cg_interp = _run_engine(build, "codegen", 7)
+        assert cg_interp.engine_used == "codegen"
+        assert generated == scalar
 
 
 class TestParallelEngineDifferential:
