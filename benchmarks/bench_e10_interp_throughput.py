@@ -236,11 +236,24 @@ DTOA_CODEGEN_FLOOR = 25.0
 #: ``STREAMSCOPE_GUARD_TOL`` on noisy shared runners.
 TRACE_OVERHEAD_TOL = 0.02
 
+#: Tuned-geomean tolerance for the guard's sixth gate: the geomean of the
+#: *tuned* codegen speedups at ``GUARD_SCALE`` must stay within this
+#: fraction of the *same run's* untuned codegen geomean over the same
+#: apps (within-run, so the scalar baselines cancel) — tuning that loses
+#: to the static heuristic is a regression, because the chunk ladder
+#: always contains the static default.  Override with
+#: ``REPRO_PGO_GUARD_TOL`` on noisy shared runners.
+PGO_GUARD_TOL = 0.10
+
+#: Apps the tuned-geomean gate races (a spread of chunk-sensitive and
+#: chunk-neutral shapes; the full set is E14's job, not the guard's).
+PGO_GUARD_APPS = ("FIR", "FMRadio", "DToA", "DCT")
+
 
 def run_guard() -> None:
     """CI perf guard: neither fast engine may regress.
 
-    Five gates, cheapest first:
+    Six gates, cheapest first:
 
     1. FIR alone at full scale stays >= 50x under the batched engine (the
        whole fast path — generic lift, fusion, superbatching — in seconds).
@@ -259,6 +272,12 @@ def run_guard() -> None:
     5. The full table at ``GUARD_SCALE`` keeps its batched geometric-mean
        speedup >= 100x; on a trip the per-app delta against the committed
        ``BENCH_interp.json`` shows which app regressed.
+    6. Profile-guided tuning must not lose: auto-tune ``PGO_GUARD_APPS``
+       (``repro.tune``, scratch cache) and re-measure them tuned; the
+       tuned codegen speedup geomean must stay within ``PGO_GUARD_TOL``
+       of the same run's untuned codegen geomean over the same apps.
+       The chunk ladder contains the static default, so a tuned loss
+       beyond noise means the tuner picked a lie.
 
     Writes ``BENCH_guard.json`` for artifact upload.
     """
@@ -332,6 +351,48 @@ def run_guard() -> None:
 
     table = run_bench(periods_scale=GUARD_SCALE)
     geomean = table["geomean_speedup"]
+
+    # Gate 6: tuned codegen must not lose to the static defaults.
+    from repro.tune import clear_tuned_cache, tune_stream
+
+    if "REPRO_TUNED_CACHE" not in os.environ:
+        import tempfile
+
+        os.environ["REPRO_TUNED_CACHE"] = tempfile.mkdtemp(prefix="repro_tuned_")
+    clear_tuned_cache()
+    tuned_speedups = {}
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", EngineDowngradeWarning)
+        for app in PGO_GUARD_APPS:
+            tune_stream(ALL_APPS[app], engine="codegen")
+            app_periods = max(1, int(dict(APPS)[app] * GUARD_SCALE))
+            tuned = max(
+                (
+                    measure_throughput(
+                        ALL_APPS[app],
+                        app_periods,
+                        engine="codegen",
+                        tune=True,
+                    )
+                    for _ in range(3)
+                ),
+                key=lambda s: s.items_per_second,
+            )
+            tuned_speedups[app] = (
+                tuned.items_per_second / table[app]["scalar_items_per_sec"]
+            )
+    geomean_tuned = geometric_mean(list(tuned_speedups.values()))
+    geomean_untuned = geometric_mean(
+        [table[app]["speedup_codegen"] for app in PGO_GUARD_APPS]
+    )
+    pgo_tol = float(os.environ.get("REPRO_PGO_GUARD_TOL", PGO_GUARD_TOL))
+    pgo_floor = (1.0 - pgo_tol) * geomean_untuned
+    print(
+        f"guard: tuned codegen geomean = {geomean_tuned:.1f}x vs untuned "
+        f"{geomean_untuned:.1f}x over {len(PGO_GUARD_APPS)} apps "
+        f"(floor {pgo_floor:.1f}x, tol {100 * pgo_tol:.0f}%)"
+    )
+
     (REPO_ROOT / "BENCH_guard.json").write_text(
         json.dumps(
             {
@@ -348,6 +409,12 @@ def run_guard() -> None:
                 "guard_scale": GUARD_SCALE,
                 "geomean_speedup": geomean,
                 "geomean_speedup_codegen": table.get("geomean_speedup_codegen"),
+                "pgo": {
+                    "apps": tuned_speedups,
+                    "geomean_tuned_codegen": geomean_tuned,
+                    "geomean_untuned_codegen": geomean_untuned,
+                    "tol": pgo_tol,
+                },
                 "apps": {
                     n: {
                         "speedup": r["speedup"],
@@ -370,6 +437,12 @@ def run_guard() -> None:
             f"perf guard tripped: geomean {geomean:.1f}x < "
             f"{GUARD_GEOMEAN_FLOOR:.0f}x"
         )
+    assert geomean_tuned >= pgo_floor, (
+        f"pgo guard tripped: tuned codegen geomean {geomean_tuned:.1f}x is "
+        f"more than {100 * pgo_tol:.0f}% below the untuned geomean "
+        f"{geomean_untuned:.1f}x from the same run — the tuner picked a "
+        f"losing configuration"
+    )
 
 
 if __name__ == "__main__":

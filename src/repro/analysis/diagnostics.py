@@ -66,6 +66,7 @@ CODES: Dict[str, Tuple[Severity, str]] = {
     "SL303": (Severity.WARNING, "superbatch-degraded"),
     "SL304": (Severity.WARNING, "engine-parallel-fallback"),
     "SL305": (Severity.WARNING, "codegen-fallback"),
+    "SL306": (Severity.WARNING, "tuned-plan-discarded"),
 }
 
 #: code -> one-line description, rendered by ``streamlint --codes``.  Keep
@@ -89,6 +90,7 @@ CODE_DESCRIPTIONS: Dict[str, str] = {
     "SL303": "superbatching degraded: a feedback core runs period-at-a-time",
     "SL304": "engine request downgraded from parallel to batched execution",
     "SL305": "whole-program codegen fell back to executor calls for some or all blocks",
+    "SL306": "cached tuned parameters discarded (plan/host fingerprint mismatch or corrupt entry)",
 }
 
 

@@ -2,6 +2,8 @@
 
 * ``report`` — render the per-filter attribution table (self-time, stall%,
   teleport boundaries, engine downgrades) from a streamscope trace;
+  ``--json`` emits the same aggregation machine-readably (the document
+  ``repro.tune.Profile.from_report_json`` consumes);
 * ``validate`` — check the file against the Chrome trace-event schema and
   print a shape summary (the CI ``trace-smoke`` gate).
 
@@ -16,7 +18,7 @@ import sys
 from typing import List, Optional
 
 from repro.obs.chrome import TraceFormatError, load_trace, trace_summary
-from repro.obs.report import render_report
+from repro.obs.report import render_report, report_payload
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -29,6 +31,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_report.add_argument("trace", help="Chrome trace-event JSON file")
     p_report.add_argument(
         "--top", type=int, default=None, help="only the N most expensive rows"
+    )
+    p_report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of the rendered table",
     )
     p_validate = sub.add_parser("validate", help="schema-check a trace file")
     p_validate.add_argument("trace", help="Chrome trace-event JSON file")
@@ -62,7 +69,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 1
         return 0
 
-    print(render_report(payload, top=ns.top))
+    if ns.json:
+        import json
+
+        print(json.dumps(report_payload(payload, top=ns.top), indent=2))
+    else:
+        print(render_report(payload, top=ns.top))
     return 0
 
 

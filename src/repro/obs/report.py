@@ -71,6 +71,52 @@ def _attribute_stalls(
             rows[dst]["stall_us"] += 1e6 * float(stats.get("consumer_stall_s", 0.0))
 
 
+def report_payload(payload: Dict[str, Any], top: Optional[int] = None) -> Dict[str, Any]:
+    """The report as a JSON-serializable document (``report --json``).
+
+    Same aggregation as :func:`render_report`, but machine-readable so the
+    auto-tuner (:mod:`repro.tune`) and external dashboards can consume a
+    trace without re-parsing the rendered table.
+    """
+    summary = trace_summary(payload)
+    meta = payload.get("repro", {}).get("meta", {})
+    rows = aggregate_filters(payload)
+    rings = ring_stalls(payload)
+    _attribute_stalls(rows, rings)
+
+    total_self = sum(r["self_time_us"] for r in rows.values()) or 1.0
+    ordered = sorted(rows.items(), key=lambda kv: -kv[1]["self_time_us"])
+    if top:
+        ordered = ordered[:top]
+    filters = [
+        {
+            "name": name,
+            "spans": row["spans"],
+            "firings": row["firings"],
+            "items": row["items"],
+            "self_time_us": row["self_time_us"],
+            "self_pct": 100.0 * row["self_time_us"] / total_self,
+            "stall_us": row["stall_us"],
+            "tids": sorted(row["tids"]),
+        }
+        for name, row in ordered
+    ]
+    doc: Dict[str, Any] = {
+        "summary": {
+            "spans": summary["spans"],
+            "tracks": sorted(summary["tracks"]),
+            "wall_us": summary["wall_us"],
+            "dropped_events": summary["dropped_events"],
+        },
+        "filters": filters,
+        "rings": {name: dict(stats) for name, stats in sorted(rings.items())},
+    }
+    for key in ("engine_report", "teleports", "plan_cache", "codegen_cache"):
+        if key in meta:
+            doc[key] = meta[key]
+    return doc
+
+
 def render_report(payload: Dict[str, Any], top: Optional[int] = None) -> str:
     """The full textual report for one loaded trace."""
     summary = trace_summary(payload)

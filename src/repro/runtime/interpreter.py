@@ -80,7 +80,18 @@ class Interpreter:
             partition decides worker placement (a key of
             :data:`repro.mapping.strategies.STRATEGIES`).
         cores: with ``engine="parallel"``, how many cores the strategy maps
-            to (defaults to the machine's CPU count, at least 2).
+            to.  Defaults to the machine's CPU count; on a single-CPU host
+            the default honestly degrades to the batched engine with an
+            ``SL304`` diagnostic instead of forking workers that would
+            serialize on one core (pass ``cores=`` explicitly to force it).
+        tune: profile-guided optimization (:mod:`repro.tune`).  ``None`` /
+            ``False`` / ``"off"`` (default) uses the static heuristics;
+            ``True`` looks up the tuned-plan cache for this (plan, host)
+            fingerprint and applies a hit (a stale entry — plan or host
+            fingerprint mismatch — is discarded with an ``SL306``
+            diagnostic); ``"force"`` measures fresh tuned parameters now
+            (chunk ladder + calibration on clones of the stream, the
+            original's state untouched), stores them, and applies them.
         trace: observability (:mod:`repro.obs`).  ``None`` (default) keeps
             the zero-cost null tracer; ``True`` records into a fresh
             :class:`~repro.obs.MemoryTracer` (inspect ``interp.tracer``);
@@ -107,6 +118,7 @@ class Interpreter:
         strict: bool = False,
         strategy: str = "softpipe",
         cores: Optional[int] = None,
+        tune: Any = None,
         trace: Any = None,
     ) -> None:
         if engine not in ENGINES:
@@ -116,10 +128,12 @@ class Interpreter:
         self.tracer = self._resolve_tracer(trace)
         self.strict = bool(strict)
         self.strategy = strategy
+        self.tune = self._normalize_tune(tune)
+        self._cores_explicit = cores is not None
         if cores is None:
             import os
 
-            cores = max(2, os.cpu_count() or 1)
+            cores = os.cpu_count() or 1
         self.cores = int(cores)
         self.stream = stream
         self.graph: FlatGraph = validate(stream) if check else None  # type: ignore
@@ -140,9 +154,25 @@ class Interpreter:
         self.parallel: Optional[Any] = None
         #: Structured engine downgrades (analysis Diagnostics, SL302/SL303).
         self.downgrades: List[Any] = []
+        #: Tuned parameters in effect (:class:`repro.tune.TunedParams`),
+        #: or None when tuning is off / missed the cache.
+        self.tuned: Optional[Any] = None
+        self._tuned_info: Dict[str, Any] = {"mode": self.tune, "outcome": "off"}
         self._setup()
 
     # -- setup ---------------------------------------------------------------
+
+    @staticmethod
+    def _normalize_tune(tune: Any) -> str:
+        if tune is None or tune is False or tune == "off":
+            return "off"
+        if tune is True or tune == "on":
+            return "on"
+        if tune == "force":
+            return "force"
+        raise StreamItError(
+            f'tune must be True, False, "off", or "force"; got {tune!r}'
+        )
 
     def _resolve_tracer(self, trace: Any):
         from repro.obs.tracer import NULL_TRACER, MemoryTracer, Tracer
@@ -171,19 +201,43 @@ class Interpreter:
         portals = self._find_portals()
         self._portals = portals
         self.has_messaging = bool(portals)
+        if self.tune != "off":
+            self._resolve_tuning()
         engine = self.engine
         if engine == "parallel":
             from repro.runtime.parallel import ParallelSession, ParallelUnsafe
 
-            try:
-                self.parallel = ParallelSession(self, self.strategy, self.cores)
-            except ParallelUnsafe as exc:
+            if self.cores < 2 and not self._cores_explicit:
+                # Honest core detection: on a single-CPU host the fork +
+                # barrier tax guarantees a loss, so the *default* degrades
+                # rather than forcing 2 serialized workers.  An explicit
+                # cores= still goes through (and fails with the same
+                # SL304 if it asks for < 2).
                 self._engine_downgrade(
-                    f"parallel execution unavailable: {exc}; falling back to "
-                    "the batched engine",
+                    f"this host reports {self.cores} usable CPU(s); forked "
+                    "workers would serialize on one core (pass cores= "
+                    "explicitly to override); falling back to the batched "
+                    "engine",
                     code="SL304",
                 )
                 engine = "batched"
+            else:
+                work_profile = (
+                    self.tuned.work
+                    if self.tuned is not None and self.tuned.work
+                    else None
+                )
+                try:
+                    self.parallel = ParallelSession(
+                        self, self.strategy, self.cores, work_profile=work_profile
+                    )
+                except ParallelUnsafe as exc:
+                    self._engine_downgrade(
+                        f"parallel execution unavailable: {exc}; falling back "
+                        "to the batched engine",
+                        code="SL304",
+                    )
+                    engine = "batched"
         batched = engine in ("batched", "codegen")
         if batched and self.has_messaging and not single_topological_sweep(
             self.graph, self.program.steady
@@ -238,6 +292,89 @@ class Interpreter:
                         "cyclic core runs period-at-a-time)",
                         code="SL303",
                     )
+        self._apply_tuning()
+
+    # -- profile-guided tuning ------------------------------------------------
+
+    def _resolve_tuning(self) -> None:
+        """Resolve tuned parameters before any engine is constructed.
+
+        Runs early in ``_setup`` so the parallel branch can hand the
+        measured work profile to the partitioner; chunk/presize application
+        waits until the plan exists (:meth:`_apply_tuning`).
+        """
+        from repro.runtime.plan import ExecutionPlan as _Plan
+        from repro.tune import load_tuned, stream_fingerprint
+
+        senders, receivers = _Plan._messaging_endpoints(self)
+        fingerprint = stream_fingerprint(
+            self.graph, self.program, senders, receivers
+        )
+        self._tuned_info["fingerprint"] = fingerprint
+        if self.tune == "force":
+            from repro.tune import tune_stream
+
+            result = tune_stream(self.stream, engine=self.engine, store=True)
+            self.tuned = result.params
+            self._tuned_info.update(
+                outcome="forced",
+                default_chunk=result.default_chunk,
+                best_chunk=result.best_chunk,
+                gain=result.gain,
+            )
+            return
+        outcome, params, reason, _meta = load_tuned(fingerprint)
+        self._tuned_info["outcome"] = outcome
+        if outcome == "hit":
+            self.tuned = params
+        elif outcome == "stale":
+            self._tuned_info["reason"] = reason
+            self._tuning_discard(reason)
+
+    def _tuning_discard(self, reason: str) -> None:
+        """``SL306``: a tuned-plan entry exists but cannot be trusted here.
+
+        Unlike an engine downgrade this never raises under ``strict``:
+        discarding stale parameters and running the static defaults *is*
+        the requested behaviour — the diagnostic only makes the discard
+        visible instead of silently applying another machine's numbers.
+        """
+        message = (
+            f"discarding cached tuned parameters: {reason}; running with "
+            "static defaults (re-tune with tune='force' or python -m "
+            "repro.tune)"
+        )
+        diagnostic = None
+        try:
+            from repro.analysis import Diagnostic
+
+            diagnostic = Diagnostic.make("SL306", message, self.stream)
+            self.downgrades.append(diagnostic)
+        except Exception:  # pragma: no cover - analysis layer unavailable
+            pass
+        warning = EngineDowngradeWarning(f"[SL306] {message}")
+        warning.diagnostic = diagnostic
+        warnings.warn(warning, stacklevel=5)
+
+    def _apply_tuning(self) -> None:
+        """Apply resolved tuned parameters to the constructed engine."""
+        params = self.tuned
+        if params is None:
+            return
+        applied: Dict[str, Any] = {}
+        if (
+            self.plan is not None
+            and params.chunk_periods
+            and not self.has_messaging
+        ):
+            self.plan.chunk_periods = max(1, int(params.chunk_periods))
+            applied["chunk_periods"] = self.plan.chunk_periods
+            if params.reserve_items:
+                self.plan.presize(params.reserve_items)
+                applied["reserved_edges"] = len(params.reserve_items)
+        if self.parallel is not None and params.work:
+            applied["work_profile_nodes"] = len(params.work)
+        self._tuned_info["applied"] = applied
 
     def _engine_downgrade(self, reason: str, code: str = "SL302") -> None:
         diagnostic = None
@@ -294,6 +431,15 @@ class Interpreter:
                 report["codegen"] = codegen_report()
         if self.parallel is not None:
             report["parallel"] = self.parallel.layout_report()
+        if self.tune != "off":
+            from repro.tune import tuned_cache_summary
+
+            report["tuned"] = {
+                **self._tuned_info,
+                "cache": tuned_cache_summary(),
+            }
+        else:
+            report["tuned"] = {"mode": "off"}
         return report
 
     def _find_portals(self) -> List[Portal]:

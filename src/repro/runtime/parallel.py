@@ -129,10 +129,13 @@ class ParallelSession:
     is always after ``init()`` hooks have run.
     """
 
-    def __init__(self, interp, strategy: str, cores: int) -> None:
+    def __init__(self, interp, strategy: str, cores: int, work_profile=None) -> None:
         self.interp = interp
         self.strategy = strategy
         self.cores = int(cores)
+        #: Measured per-period work (repro.tune) that reweighted this
+        #: partition, or None when the static estimates were used.
+        self.work_profile = dict(work_profile) if work_profile else None
         self.discipline = "dag" if strategy in _DAG_STRATEGIES else "pipelined"
         graph, program = interp.graph, interp.program
 
@@ -153,7 +156,12 @@ class ParallelSession:
 
         try:
             part = partition_nodes(
-                interp.stream, graph, program.reps, strategy, self.cores
+                interp.stream,
+                graph,
+                program.reps,
+                strategy,
+                self.cores,
+                work_profile=self.work_profile,
             )
         except Exception as exc:
             raise ParallelUnsafe(f"strategy {strategy!r} cannot map this graph: {exc}")
@@ -704,4 +712,5 @@ class ParallelSession:
                 f"{e.src.name}->{e.dst.name}" for e in self.ring_edges
             ],
             "batch_periods": self.batch_periods,
+            "work_profiled": self.work_profile is not None,
         }

@@ -876,11 +876,40 @@ class ExecutionPlan:
         ]
 
     def _chunk_periods(self, program) -> int:
-        """Periods per superbatched pass, bounding per-edge buffer growth."""
+        """Periods per superbatched pass, bounding per-edge buffer growth.
+
+        This is the *static* heuristic (512 KiB of float64 per edge); the
+        profile-guided tuner (:mod:`repro.tune`) replaces it with a
+        measured best-of-ladder choice by assigning ``plan.chunk_periods``
+        after construction — the ladder always includes this default, so
+        tuning can only match or beat it.
+        """
         per_period = 1
         for edge in self.graph.edges:
             per_period = max(per_period, program.reps.get(edge.src, 0) * edge.push_rate)
         return max(1, _CHUNK_ITEM_CAP // per_period)
+
+    def presize(self, reserve_items: Dict[str, int]) -> None:
+        """Apply tuned presize hints (edge name -> items) to the tapes.
+
+        Pre-grows each edge's :class:`ArrayChannel` and each fused chain's
+        scratch tape so the first tuned-size chunk runs without a single
+        buffer doubling.  Purely an allocation hint — never semantic.
+        """
+        if not reserve_items:
+            return
+        for edge in self.graph.edges:
+            n = reserve_items.get(f"{edge.src.name}->{edge.dst.name}", 0)
+            chan = self.channels.get(edge)
+            if n and isinstance(chan, ArrayChannel):
+                chan.reserve(n)
+        for phase in self.steady_phases:
+            if isinstance(phase, FusedPhase):
+                for st, tape in zip(phase.stages[:-1], phase._tapes):
+                    edge = st.node.out_edges[0]
+                    n = reserve_items.get(f"{edge.src.name}->{edge.dst.name}", 0)
+                    if n:
+                        tape.reserve(n)
 
     # -- execution ------------------------------------------------------------
 

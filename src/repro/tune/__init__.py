@@ -1,0 +1,53 @@
+"""Profile-guided optimization: close the streamscope loop.
+
+``repro.tune`` turns the observability layer's measurements back into
+compiler inputs:
+
+* :func:`calibrate` runs a short traced warm-up and reduces it to a
+  :class:`Profile` (per-filter self-time per period, per-edge traffic);
+* :func:`tune_stream` searches the knobs the engines expose but never
+  optimize — superbatch chunk size (best-of-ladder, static default
+  included), fused-chain/channel presizing, profile-weighted work for
+  the parallel partitioner — and returns :class:`TunedParams`;
+* :mod:`repro.tune.cache` persists the result keyed by (plan
+  fingerprint, host fingerprint), applied automatically by
+  ``Interpreter(tune=True)`` and discarded with an ``SL306`` diagnostic
+  when either fingerprint no longer matches.
+
+CLI: ``python -m repro.tune {tune,show,clear}``.
+"""
+
+from repro.tune.cache import (
+    TunedParams,
+    clear_tuned_cache,
+    host_fingerprint,
+    load_tuned,
+    store_tuned,
+    stream_fingerprint,
+    tuned_cache_stats,
+    tuned_cache_summary,
+)
+from repro.tune.profile import Profile, calibrate
+from repro.tune.tuner import (
+    CHUNK_LADDER,
+    TuneResult,
+    render_result,
+    tune_stream,
+)
+
+__all__ = [
+    "CHUNK_LADDER",
+    "Profile",
+    "TuneResult",
+    "TunedParams",
+    "calibrate",
+    "clear_tuned_cache",
+    "host_fingerprint",
+    "load_tuned",
+    "render_result",
+    "store_tuned",
+    "stream_fingerprint",
+    "tune_stream",
+    "tuned_cache_stats",
+    "tuned_cache_summary",
+]

@@ -1,0 +1,163 @@
+"""CLI entry: ``python -m repro.tune {tune,show,clear}``.
+
+* ``tune <app>`` — calibrate + chunk-ladder search for one evaluation app
+  and (by default) persist the result in the tuned-plan cache, so every
+  later ``Interpreter(tune=True)`` over the same graph on this host picks
+  it up.  ``--json`` prints the machine-readable result instead of the
+  ladder table.
+* ``show`` — list cache entries (fingerprint, host match, tuned chunk).
+* ``clear`` — zero the counters; ``--disk`` also deletes the entries.
+
+Exit status: 0 on success, 1 on failure (unknown app, tuning error),
+2 for usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tune",
+        description="profile-guided tuning of compiled stream plans",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tune = sub.add_parser("tune", help="calibrate + tune one evaluation app")
+    p_tune.add_argument("app", help="app name from repro.apps.ALL_APPS")
+    p_tune.add_argument(
+        "--engine",
+        default="codegen",
+        choices=("batched", "codegen"),
+        help="engine the chunk ladder is timed under (default: codegen)",
+    )
+    p_tune.add_argument(
+        "--periods",
+        type=int,
+        default=None,
+        help="steady periods per ladder cell (default: auto-sized to budget)",
+    )
+    p_tune.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="seconds per ladder cell when auto-sizing (REPRO_TUNE_BUDGET)",
+    )
+    p_tune.add_argument(
+        "--repeats", type=int, default=2, help="measurements per cell (best-of)"
+    )
+    p_tune.add_argument(
+        "--no-store",
+        action="store_true",
+        help="measure and report only; do not write the cache entry",
+    )
+    p_tune.add_argument(
+        "--json", action="store_true", help="machine-readable result on stdout"
+    )
+
+    p_show = sub.add_parser("show", help="list tuned-plan cache entries")
+    p_show.add_argument("--json", action="store_true", help="JSON output")
+
+    p_clear = sub.add_parser("clear", help="reset tuned-cache counters")
+    p_clear.add_argument(
+        "--disk", action="store_true", help="also delete the on-disk entries"
+    )
+
+    ns = parser.parse_args(argv)
+
+    if ns.command == "tune":
+        from repro.apps import ALL_APPS
+        from repro.tune import render_result, tune_stream
+
+        build = ALL_APPS.get(ns.app)
+        if build is None:
+            print(
+                f"repro.tune: unknown app {ns.app!r}; expected one of "
+                f"{', '.join(sorted(ALL_APPS))}",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            result = tune_stream(
+                build,
+                engine=ns.engine,
+                periods=ns.periods,
+                budget_s=ns.budget,
+                repeats=ns.repeats,
+                store=not ns.no_store,
+            )
+        except Exception as exc:
+            print(f"repro.tune: tuning {ns.app} failed: {exc}", file=sys.stderr)
+            return 1
+        if ns.json:
+            print(
+                json.dumps(
+                    {
+                        "app": ns.app,
+                        "fingerprint": result.fingerprint,
+                        "engine": result.engine,
+                        "periods": result.periods,
+                        "ladder": {
+                            str(c): pps for c, pps in sorted(result.ladder.items())
+                        },
+                        "default_chunk": result.default_chunk,
+                        "best_chunk": result.best_chunk,
+                        "gain": result.gain,
+                        "params": result.params.to_json(),
+                        "stored_path": result.stored_path,
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            print(render_result(result, label=ns.app))
+        return 0
+
+    if ns.command == "show":
+        from repro.tune.cache import host_fingerprint, list_entries, tuned_cache_summary
+
+        entries = list_entries()
+        if ns.json:
+            print(
+                json.dumps(
+                    {
+                        "host": host_fingerprint(),
+                        "entries": entries,
+                        "cache": tuned_cache_summary(),
+                    },
+                    indent=2,
+                )
+            )
+            return 0
+        summary = tuned_cache_summary()
+        print(
+            f"tuned-plan cache: {len(entries)} entr{'y' if len(entries) == 1 else 'ies'} "
+            f"in {summary['disk_dir']} (host {host_fingerprint()})"
+        )
+        for fp, entry in entries.items():
+            params = entry.get("params") or {}
+            chunk = params.get("chunk_periods")
+            print(
+                f"  {fp[:16]}  status={entry.get('status')} "
+                f"chunk={chunk} work_nodes={len(params.get('work') or {})}"
+            )
+        print(
+            f"  counters: {summary['hits']} hit(s), {summary['misses']} miss(es), "
+            f"{summary['stale']} stale, {summary['stores']} store(s)"
+        )
+        return 0
+
+    # clear
+    from repro.tune.cache import clear_tuned_cache
+
+    clear_tuned_cache(disk=ns.disk)
+    print("tuned-plan cache cleared" + (" (disk included)" if ns.disk else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

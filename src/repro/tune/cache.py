@@ -1,0 +1,290 @@
+"""Persistent tuned-plan cache: one JSON file per plan fingerprint.
+
+The tuner's output — the measured chunk size, per-filter work profile,
+and channel presizing hints — is only as good as the machine it was
+measured on.  Every entry is therefore keyed **twice**:
+
+* by *plan fingerprint* (the PR-6 codegen fingerprint: structural plan
+  signature + per-class ``work()`` code hashes + emitter revision), so
+  editing a filter body or restructuring the graph invalidates it;
+* by *host fingerprint* (CPU count, machine/processor identification,
+  Python and numpy versions), stored **inside** the entry, so parameters
+  tuned on one machine are never silently applied on another — a
+  mismatch discards the entry with an ``SL306`` diagnostic.
+
+Entries live under ``.repro_tuned/`` (override with ``REPRO_TUNED_CACHE``),
+written atomically (tmp + ``os.replace``) and bounded by mtime-LRU
+eviction, mirroring the codegen module cache.  Counters accumulate in
+:data:`tuned_cache_stats` and surface through ``engine_report()["tuned"]``
+and ``python -m repro.tune show``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import types
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+#: Bump to invalidate every cached entry after an incompatible change to
+#: the tuned-parameter schema below.
+TUNED_FORMAT_VERSION = 1
+
+_DISK_CACHE_MAX = 256
+
+DEFAULT_CACHE_DIR = ".repro_tuned"
+
+#: Cumulative counters (process lifetime).  ``stale`` counts entries that
+#: existed but were discarded: plan/host fingerprint mismatch, format
+#: mismatch, or an unreadable/corrupt file.
+tuned_cache_stats: Dict[str, int] = {
+    "hits": 0,
+    "misses": 0,
+    "stale": 0,
+    "stores": 0,
+    "evictions": 0,
+}
+
+
+def cache_dir() -> Path:
+    """On-disk tuned-plan cache directory (``REPRO_TUNED_CACHE`` overrides)."""
+    return Path(os.environ.get("REPRO_TUNED_CACHE") or DEFAULT_CACHE_DIR)
+
+
+def clear_tuned_cache(disk: bool = False) -> None:
+    """Zero the counters; with ``disk=True`` also delete the cache files."""
+    for key in tuned_cache_stats:
+        tuned_cache_stats[key] = 0
+    if disk:
+        directory = cache_dir()
+        if directory.is_dir():
+            for path in directory.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+
+def tuned_cache_summary() -> Dict[str, object]:
+    """Counters plus the current on-disk entry count."""
+    directory = cache_dir()
+    try:
+        size = sum(1 for _ in directory.glob("*.json")) if directory.is_dir() else 0
+    except OSError:
+        size = 0
+    summary: Dict[str, object] = dict(tuned_cache_stats)
+    summary["disk_size"] = size
+    summary["disk_max"] = _DISK_CACHE_MAX
+    summary["disk_dir"] = str(directory)
+    return summary
+
+
+# -- fingerprints -------------------------------------------------------------
+
+
+def host_fingerprint() -> str:
+    """Identity of the machine tuned parameters were measured on.
+
+    CPU count and model dominate what the chunk ladder measures; the
+    Python and numpy versions pin the runtime the kernels executed under.
+    """
+    import platform
+
+    import numpy
+
+    parts = [
+        str(os.cpu_count() or 0),
+        platform.machine(),
+        platform.processor() or "",
+        platform.python_version(),
+        numpy.__version__,
+    ]
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
+
+
+def stream_fingerprint(graph, program, senders, receivers) -> str:
+    """The PR-6 plan fingerprint for a (graph, schedule, messaging) triple.
+
+    Reuses :func:`repro.runtime.codegen_emit.plan_fingerprint` — structural
+    signature plus per-class ``work()``/``work_batch`` code hashes — so the
+    tuned cache and the codegen module cache invalidate on exactly the same
+    events.
+    """
+    from repro import __version__
+    from repro.runtime.codegen_emit import plan_fingerprint
+    from repro.runtime.plan import _plan_signature
+
+    signature = _plan_signature(graph, program, senders, receivers)
+    shim = types.SimpleNamespace(graph=graph)
+    return plan_fingerprint(shim, signature, __version__)
+
+
+# -- tuned parameters ---------------------------------------------------------
+
+
+@dataclass
+class TunedParams:
+    """What the tuner feeds back into the compiler.
+
+    ``chunk_periods`` replaces the static 512 KiB-per-edge heuristic for
+    the batched/codegen engines; ``work`` maps flat-node names to measured
+    seconds per steady period (consumed by
+    :func:`repro.mapping.strategies.partition_nodes` as a profile-weighted
+    override of the static work estimates); ``reserve_items`` maps edge
+    names (``src->dst``) to a presize hint for array channels and fusion
+    scratch tapes, so the first tuned-size chunk never regrows a buffer.
+    """
+
+    chunk_periods: Optional[int] = None
+    work: Dict[str, float] = field(default_factory=dict)
+    reserve_items: Dict[str, int] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "chunk_periods": self.chunk_periods,
+            "work": dict(self.work),
+            "reserve_items": {k: int(v) for k, v in self.reserve_items.items()},
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "TunedParams":
+        chunk = data.get("chunk_periods")
+        return cls(
+            chunk_periods=int(chunk) if chunk else None,
+            work={str(k): float(v) for k, v in (data.get("work") or {}).items()},
+            reserve_items={
+                str(k): int(v) for k, v in (data.get("reserve_items") or {}).items()
+            },
+        )
+
+
+# -- load / store -------------------------------------------------------------
+
+
+def _entry_path(fingerprint: str) -> Path:
+    return cache_dir() / f"{fingerprint}.json"
+
+
+def store_tuned(
+    fingerprint: str,
+    params: TunedParams,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Optional[Path]:
+    """Persist tuned parameters for ``fingerprint`` on this host."""
+    from repro import __version__
+
+    entry = {
+        "format": TUNED_FORMAT_VERSION,
+        "plan": fingerprint,
+        "host": host_fingerprint(),
+        "repro": __version__,
+        "params": params.to_json(),
+        "meta": dict(meta or {}),
+    }
+    directory = cache_dir()
+    path = _entry_path(fingerprint)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(entry, indent=2) + "\n")
+        os.replace(tmp, path)
+    except OSError:
+        return None
+    tuned_cache_stats["stores"] += 1
+    try:
+        entries = sorted(directory.glob("*.json"), key=lambda p: p.stat().st_mtime)
+        while len(entries) > _DISK_CACHE_MAX:
+            victim = entries.pop(0)
+            victim.unlink()
+            tuned_cache_stats["evictions"] += 1
+    except OSError:
+        pass
+    return path
+
+
+def load_tuned(
+    fingerprint: str,
+) -> Tuple[str, Optional[TunedParams], Optional[str], Optional[Dict[str, Any]]]:
+    """Look up tuned parameters: ``(outcome, params, reason, meta)``.
+
+    ``outcome`` is ``"hit"`` (params valid for this plan + host),
+    ``"miss"`` (no entry), or ``"stale"`` (an entry existed but was
+    discarded — ``reason`` says why; the caller reports ``SL306``).
+    Stale entries are never applied and never partially trusted.
+    """
+    path = _entry_path(fingerprint)
+    try:
+        text = path.read_text()
+    except OSError:
+        tuned_cache_stats["misses"] += 1
+        return "miss", None, None, None
+    try:
+        entry = json.loads(text)
+        if not isinstance(entry, dict):
+            raise ValueError("entry is not an object")
+    except ValueError:
+        tuned_cache_stats["stale"] += 1
+        return "stale", None, "corrupted cache file (invalid JSON)", None
+    if entry.get("format") != TUNED_FORMAT_VERSION:
+        tuned_cache_stats["stale"] += 1
+        return (
+            "stale",
+            None,
+            f"format {entry.get('format')!r} != {TUNED_FORMAT_VERSION}",
+            None,
+        )
+    if entry.get("plan") != fingerprint:
+        tuned_cache_stats["stale"] += 1
+        return "stale", None, "plan fingerprint mismatch", None
+    host = host_fingerprint()
+    if entry.get("host") != host:
+        tuned_cache_stats["stale"] += 1
+        return (
+            "stale",
+            None,
+            f"host fingerprint mismatch (entry {entry.get('host')!r}, "
+            f"this host {host!r})",
+            None,
+        )
+    try:
+        params = TunedParams.from_json(entry.get("params") or {})
+    except (TypeError, ValueError):
+        tuned_cache_stats["stale"] += 1
+        return "stale", None, "corrupted cache file (bad params)", None
+    tuned_cache_stats["hits"] += 1
+    try:  # freshen mtime so LRU eviction spares hot entries
+        os.utime(path)
+    except OSError:
+        pass
+    return "hit", params, None, entry.get("meta") or {}
+
+
+def list_entries() -> Dict[str, Dict[str, Any]]:
+    """All readable cache entries, keyed by fingerprint (for the CLI)."""
+    directory = cache_dir()
+    out: Dict[str, Dict[str, Any]] = {}
+    if not directory.is_dir():
+        return out
+    host = host_fingerprint()
+    for path in sorted(directory.glob("*.json")):
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            out[path.stem] = {"status": "corrupt"}
+            continue
+        if not isinstance(entry, dict):
+            out[path.stem] = {"status": "corrupt"}
+            continue
+        status = "ok" if entry.get("host") == host else "foreign-host"
+        if entry.get("format") != TUNED_FORMAT_VERSION:
+            status = "stale-format"
+        out[path.stem] = {
+            "status": status,
+            "host": entry.get("host"),
+            "params": entry.get("params"),
+            "meta": entry.get("meta"),
+        }
+    return out

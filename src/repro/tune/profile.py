@@ -1,0 +1,163 @@
+"""Calibration: run a short traced warm-up, extract a machine profile.
+
+:func:`calibrate` executes a few steady periods of a stream under a
+:class:`~repro.obs.MemoryTracer` and reduces the streamscope span data to
+the two facts the tuner consumes:
+
+* ``work`` — measured seconds of self-time per steady period, **per flat
+  node**.  Batched-engine spans are emitted per kernel/fused-chain/core
+  chunk, so composite span names (``A+B+C`` fused chains, ``core:X+Y``
+  cyclic cores) are split among their member nodes in proportion to the
+  static work estimate — the measurement fixes the totals, the estimate
+  only apportions within a composite.
+* ``edge_items`` — items crossing each edge per steady period, straight
+  from the schedule's repetition vector (``reps[src] * push_rate``).
+
+A profile can also be rebuilt from the machine-readable output of
+``python -m repro.obs report --json`` (:meth:`Profile.from_report_json`),
+so a trace captured on one run can drive tuning later.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, Dict, Optional, Union
+
+
+@dataclass
+class Profile:
+    """Measured per-node work and per-edge traffic for one stream."""
+
+    #: flat-node name -> measured seconds of self-time per steady period
+    #: (or total seconds when ``periods`` is None — relative weights only).
+    work: Dict[str, float] = field(default_factory=dict)
+    #: ``src->dst`` edge name -> items per steady period.
+    edge_items: Dict[str, int] = field(default_factory=dict)
+    #: steady periods the measurement covered (None when unknown, e.g. a
+    #: profile rebuilt from an exported report).
+    periods: Optional[int] = None
+    #: wall-clock seconds of the measured steady run.
+    wall_s: float = 0.0
+    engine: str = ""
+
+    @classmethod
+    def from_metrics(
+        cls,
+        metrics: Dict[str, Any],
+        graph,
+        program,
+        periods: int,
+        wall_s: float = 0.0,
+        engine: str = "",
+    ) -> "Profile":
+        """Reduce ``MemoryTracer.metrics()`` output over a known graph."""
+        from repro.estimate.work import node_work
+
+        weights = {
+            node.name: max(float(node_work(node)) * program.reps.get(node, 1), 1e-9)
+            for node in graph.nodes
+        }
+        totals: Dict[str, float] = {}
+        for name, row in (metrics.get("filters") or {}).items():
+            seconds = float(row.get("self_time", 0.0))
+            if seconds <= 0.0:
+                continue
+            base = name[len("core:"):] if name.startswith("core:") else name
+            members = [m for m in base.split("+") if m in weights]
+            if not members:
+                continue
+            scale = sum(weights[m] for m in members)
+            for m in members:
+                totals[m] = totals.get(m, 0.0) + seconds * weights[m] / scale
+        work = {name: t / max(periods, 1) for name, t in totals.items()}
+        edge_items = {
+            f"{e.src.name}->{e.dst.name}": int(
+                program.reps.get(e.src, 0) * e.push_rate
+            )
+            for e in graph.edges
+        }
+        return cls(
+            work=work,
+            edge_items=edge_items,
+            periods=periods,
+            wall_s=wall_s,
+            engine=engine,
+        )
+
+    @classmethod
+    def from_report_json(cls, payload: Dict[str, Any]) -> "Profile":
+        """Rebuild a profile from ``python -m repro.obs report --json``.
+
+        The exported report has no repetition vector, so composite span
+        names are split evenly and ``work`` holds *total* seconds
+        (``periods`` stays None) — still exactly the relative weights
+        partitioning balances on.
+        """
+        work: Dict[str, float] = {}
+        for row in payload.get("filters") or []:
+            name = str(row.get("name", ""))
+            seconds = float(row.get("self_time_us", 0.0)) / 1e6
+            if not name or seconds <= 0.0:
+                continue
+            base = name[len("core:"):] if name.startswith("core:") else name
+            members = base.split("+")
+            for m in members:
+                work[m] = work.get(m, 0.0) + seconds / len(members)
+        return cls(
+            work=work,
+            periods=None,
+            engine=str(
+                (payload.get("engine_report") or {}).get("used", "")
+            ),
+        )
+
+    def total_work(self) -> float:
+        return sum(self.work.values())
+
+
+def calibrate(
+    source: Union[Callable[[], Any], Any],
+    periods: int = 64,
+    engine: str = "batched",
+    warmup_periods: int = 2,
+) -> Profile:
+    """Run a short traced warm-up of ``source`` and return its profile.
+
+    ``source`` is a stream *builder* (zero-arg callable) or a live
+    :class:`~repro.graph.base.Stream`, which is cloned first so the
+    caller's filter state and sink contents are untouched.  Calibration
+    always runs the **batched** engine by default: its traced path emits
+    one span per kernel/fused-chain/core chunk, the granularity the
+    profile attributes time at (the codegen engine collapses a whole
+    chunk into one opaque span).
+    """
+    from repro.errors import EngineDowngradeWarning
+    from repro.runtime.interpreter import Interpreter
+    from repro.transforms.clone import clone_stream
+
+    if callable(source):
+        app = source()
+    else:
+        app = clone_stream(source)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", EngineDowngradeWarning)
+        interp = Interpreter(app, check=False, engine=engine, trace=True)
+        try:
+            interp.run(periods=warmup_periods)
+            t0 = perf_counter()
+            interp.run_steady(periods)
+            wall = perf_counter() - t0
+            metrics = interp.tracer.metrics()
+            profile = Profile.from_metrics(
+                metrics,
+                interp.graph,
+                interp.program,
+                periods=warmup_periods + periods,
+                wall_s=wall,
+                engine=interp.engine_used,
+            )
+        finally:
+            interp.close()
+    return profile

@@ -1,0 +1,337 @@
+"""The auto-tuner: measured best-of-ladder search over engine knobs.
+
+The engines expose knobs they never optimize: ``plan.chunk_periods`` is
+sized by a static 512 KiB-per-edge cap, partitions balance on declared
+work, channels grow on demand.  :func:`tune_stream` replaces the static
+choices with **measurements on this machine**:
+
+1. probe the stream once to find the static default chunk and size the
+   measurement run to a wall-clock budget;
+2. time every chunk size on a ladder (16/64/256/1024/2048/4096, *plus
+   the static default* — so the tuned choice can never lose to the
+   heuristic by construction; a hysteresis margin keeps noise from
+   displacing the default on a near-tie);
+3. calibrate a traced run into a per-filter work profile
+   (:mod:`repro.tune.profile`);
+4. derive channel presize hints from the winning chunk and the schedule's
+   per-period edge traffic;
+5. persist the result keyed by (plan fingerprint, host fingerprint) so
+   every later compile of the same graph on the same machine applies it
+   for free (:mod:`repro.tune.cache`).
+
+Tuning never changes semantics: chunk size only sets how many steady
+periods one superbatched pass covers, the work profile only reweights
+partitioning, and presizing only pre-grows buffers — all bit-exact by
+construction and enforced by the tuned arm of the differential fuzz.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, Dict, Optional, Union
+
+from repro.tune.cache import TunedParams, store_tuned, stream_fingerprint
+from repro.tune.profile import Profile, calibrate
+
+#: Candidate superbatch sizes (periods per chunk).  The measured static
+#: default is always added as one more rung; rungs below 16 are omitted
+#: because per-pass dispatch always dominates there (and a rung 100x
+#: slower than the default would blow the wall budget just to lose).
+CHUNK_LADDER = (16, 64, 256, 1024, 2048, 4096)
+
+#: Wall-clock budget per ladder measurement, seconds.  Override with
+#: ``REPRO_TUNE_BUDGET`` (tests and CI smoke use tiny budgets).
+DEFAULT_BUDGET_S = 0.12
+
+#: Presize hint ceiling per edge: 1 Mi items = 8 MiB of float64.  Keeps a
+#: huge tuned chunk from translating into an unbounded up-front allocation.
+RESERVE_ITEM_CAP = 1 << 20
+
+#: Presize ceiling across *all* edges (8 Mi items = 64 MiB of float64):
+#: graphs with hundreds of edges (DES, Serpent) would otherwise presize
+#: gigabytes that then fault in during the first timed pass.
+RESERVE_TOTAL_ITEM_CAP = 1 << 23
+
+#: Long enough that the probe's periods/second approximates the steady
+#: rate — an overhead-dominated estimate shrinks the wall cap below what
+#: the large ladder rungs need to show their effect.
+_PROBE_PERIODS = 64
+_MIN_PERIODS = 16
+_MAX_PERIODS = 20_000
+
+#: A ladder rung must beat the static default's cell by this factor to
+#: displace it (see the hysteresis note in :func:`tune_stream`).
+WIN_MARGIN = 1.05
+
+
+def tune_budget() -> float:
+    try:
+        return float(os.environ.get("REPRO_TUNE_BUDGET", DEFAULT_BUDGET_S))
+    except ValueError:
+        return DEFAULT_BUDGET_S
+
+
+@dataclass
+class TuneResult:
+    """Everything one tuning run measured and decided."""
+
+    fingerprint: str
+    params: TunedParams
+    engine: str
+    periods: int
+    #: measured chunk size -> periods/second (best of repeats).  The
+    #: static default is represented by its *cell* (``min(default,
+    #: periods)``) — chunks at or above the run length are
+    #: indistinguishable at that measurement size.
+    ladder: Dict[int, float] = field(default_factory=dict)
+    default_chunk: Optional[int] = None
+    #: The ladder cell that stood in for the static default.
+    default_cell: Optional[int] = None
+    best_chunk: Optional[int] = None
+    profile: Optional[Profile] = None
+    stored_path: Optional[str] = None
+
+    @property
+    def gain(self) -> Optional[float]:
+        """Measured best-over-default throughput ratio (None if no ladder)."""
+        cell = self.default_cell if self.default_cell is not None else self.default_chunk
+        if not self.ladder or cell not in self.ladder:
+            return None
+        base = self.ladder[cell]
+        return max(self.ladder.values()) / base if base > 0 else None
+
+
+def _builder_for(source: Union[Callable[[], Any], Any]) -> Callable[[], Any]:
+    if callable(source):
+        return source
+    from repro.transforms.clone import clone_stream
+
+    return lambda: clone_stream(source)
+
+
+def _measure(build, engine: str, chunk: Optional[int], periods: int) -> float:
+    """Periods/second with ``plan.chunk_periods`` pinned to ``chunk``.
+
+    Periods (not items) per second: the items-per-period ratio is fixed by
+    the schedule, so periods/s orders chunk sizes identically and needs no
+    sink discovery.  The pin lands before the warmup run so codegen
+    materializes under the measured chunk size (the bench_e13 protocol).
+    """
+    from repro.errors import EngineDowngradeWarning
+    from repro.runtime.interpreter import Interpreter
+
+    app = build()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", EngineDowngradeWarning)
+        interp = Interpreter(app, check=False, engine=engine)
+        try:
+            if chunk is not None and interp.plan is not None:
+                interp.plan.chunk_periods = int(chunk)
+            interp.run(periods=2)
+            start = perf_counter()
+            interp.run_steady(periods)
+            elapsed = perf_counter() - start
+        finally:
+            interp.close()
+    return periods / elapsed if elapsed > 0 else float("inf")
+
+
+def tune_stream(
+    source: Union[Callable[[], Any], Any],
+    engine: str = "codegen",
+    periods: Optional[int] = None,
+    budget_s: Optional[float] = None,
+    repeats: int = 2,
+    profile: bool = True,
+    store: bool = True,
+) -> TuneResult:
+    """Measure, choose, and (optionally) persist tuned parameters.
+
+    ``source`` is a stream builder or a live stream (cloned per
+    measurement, so the caller's filter state and sink contents stay
+    untouched).  ``engine`` picks the engine the ladder is timed under;
+    ``"scalar"``/``"parallel"`` requests measure under ``"batched"`` (the
+    chunk knob only exists on the compiled plans — the work profile still
+    serves the parallel partitioner).
+    """
+    from repro.errors import EngineDowngradeWarning
+    from repro.runtime.interpreter import Interpreter
+    from repro.runtime.plan import ExecutionPlan
+
+    build = _builder_for(source)
+    measure_engine = engine if engine in ("batched", "codegen") else "batched"
+    budget = tune_budget() if budget_s is None else float(budget_s)
+
+    # -- probe: fingerprint, static default chunk, run sizing ----------------
+    app = build()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", EngineDowngradeWarning)
+        probe = Interpreter(app, check=False, engine=measure_engine)
+        try:
+            senders, receivers = ExecutionPlan._messaging_endpoints(probe)
+            fingerprint = stream_fingerprint(
+                probe.graph, probe.program, senders, receivers
+            )
+            default_chunk = (
+                probe.plan.chunk_periods if probe.plan is not None else None
+            )
+            tune_chunks = probe.plan is not None and not probe.has_messaging
+            probe.run(periods=2)
+            t0 = perf_counter()
+            probe.run_steady(_PROBE_PERIODS)
+            per_period = (perf_counter() - t0) / _PROBE_PERIODS
+        finally:
+            probe.close()
+
+    if periods is None:
+        periods = int(budget / max(per_period, 1e-9))
+        if tune_chunks and default_chunk:
+            # A run shorter than a candidate collapses every chunk >=
+            # periods into one pass, hiding exactly the per-chunk
+            # locality/amortization differences the ladder exists to
+            # find.  Stretch to two passes of the largest rung (or of
+            # the static default if that is bigger), within 10x the
+            # wall budget per cell.
+            want = min(
+                2 * max(int(default_chunk), CHUNK_LADDER[-1]), _MAX_PERIODS
+            )
+            wall_cap = int(10 * budget / max(per_period, 1e-9))
+            periods = max(periods, min(want, wall_cap))
+        periods = max(_MIN_PERIODS, min(_MAX_PERIODS, periods))
+
+    # -- the ladder ----------------------------------------------------------
+    ladder: Dict[int, float] = {}
+    best_chunk: Optional[int] = None
+    default_cell: Optional[int] = None
+    if tune_chunks:
+        # The effective chunk is min(chunk, periods), so every candidate at
+        # or above the run length measures identically; the static default
+        # competes through its clamped cell.
+        default_cell = min(int(default_chunk), periods)
+        candidates = sorted(
+            {c for c in CHUNK_LADDER if c <= periods} | {default_cell}
+        )
+        ladder = {c: 0.0 for c in candidates}
+        # Repeats are interleaved across candidates (round-robin, not
+        # block-per-candidate): shared-machine throttling is correlated
+        # over seconds, and a block design lets one slow window crown the
+        # wrong rung.
+        for _ in range(max(1, repeats)):
+            for chunk in candidates:
+                # Small rungs run fewer periods (still >= 32 passes):
+                # periods/second is a rate, so cells stay comparable, and
+                # a 50x-slower rung doesn't eat 50x the wall budget.
+                cell_periods = min(periods, max(chunk * 32, _MIN_PERIODS))
+                ladder[chunk] = max(
+                    ladder[chunk],
+                    _measure(build, measure_engine, chunk, cell_periods),
+                )
+        best_cell = max(ladder, key=lambda c: ladder[c])
+        if ladder[best_cell] < WIN_MARGIN * ladder[default_cell]:
+            # Hysteresis: a rung must beat the static default by a clear
+            # margin to displace it.  On a near-tie the default stays, so
+            # noise can never tune in a regression.
+            best_cell = default_cell
+        if best_cell == default_cell and int(default_chunk) > periods:
+            # The winning cell only proves "default-or-larger is best";
+            # keep the static default rather than clamping it to the
+            # measurement run length.
+            best_chunk = int(default_chunk)
+        else:
+            best_chunk = best_cell
+
+    # -- profile + derived parameters ---------------------------------------
+    prof: Optional[Profile] = None
+    work: Dict[str, float] = {}
+    edge_items: Dict[str, int] = {}
+    if profile:
+        prof = calibrate(build, periods=min(64, periods))
+        work = dict(prof.work)
+        edge_items = dict(prof.edge_items)
+    reserve = {}
+    if best_chunk is not None:
+        reserve = {
+            name: min(items * best_chunk, RESERVE_ITEM_CAP)
+            for name, items in edge_items.items()
+            if items > 0
+        }
+        total = sum(reserve.values())
+        if total > RESERVE_TOTAL_ITEM_CAP:
+            shrink = RESERVE_TOTAL_ITEM_CAP / total
+            reserve = {
+                name: scaled
+                for name, items in reserve.items()
+                if (scaled := int(items * shrink)) > 0
+            }
+    params = TunedParams(
+        chunk_periods=best_chunk, work=work, reserve_items=reserve
+    )
+    result = TuneResult(
+        fingerprint=fingerprint,
+        params=params,
+        engine=measure_engine,
+        periods=periods,
+        ladder=ladder,
+        default_chunk=default_chunk,
+        default_cell=default_cell,
+        best_chunk=best_chunk,
+        profile=prof,
+    )
+    if store:
+        path = store_tuned(
+            fingerprint,
+            params,
+            meta={
+                "engine": measure_engine,
+                "periods": periods,
+                "ladder": {str(c): ips for c, ips in sorted(ladder.items())},
+                "default_chunk": default_chunk,
+                "best_chunk": best_chunk,
+                "gain": result.gain,
+            },
+        )
+        result.stored_path = str(path) if path is not None else None
+    return result
+
+
+def render_result(result: TuneResult, label: str = "") -> str:
+    """Human-readable ladder table (the CLI's output)."""
+    lines = [
+        f"== repro.tune {label or result.fingerprint[:12]} "
+        f"(engine={result.engine}, {result.periods} periods/cell) =="
+    ]
+    default_cell = (
+        result.default_cell
+        if result.default_cell is not None
+        else result.default_chunk
+    )
+    best_cell = max(result.ladder, key=result.ladder.get) if result.ladder else None
+    for chunk, pps in sorted(result.ladder.items()):
+        marks = []
+        if chunk == default_cell:
+            marks.append("default")
+        if chunk == best_cell:
+            marks.append("best")
+        suffix = f"   <- {', '.join(marks)}" if marks else ""
+        lines.append(f"  chunk {chunk:>6d}: {pps:12.0f} periods/s{suffix}")
+    if not result.ladder:
+        lines.append("  (chunk ladder skipped: no compiled plan to tune)")
+    gain = result.gain
+    if gain is not None:
+        lines.append(
+            f"  tuned chunk {result.best_chunk} vs static default "
+            f"{result.default_chunk}: {gain:.2f}x"
+        )
+    if result.params.work:
+        hot = sorted(result.params.work.items(), key=lambda kv: -kv[1])[:5]
+        total = sum(result.params.work.values()) or 1.0
+        lines.append(
+            "  work profile (top 5): "
+            + ", ".join(f"{n} {100 * w / total:.0f}%" for n, w in hot)
+        )
+    if result.stored_path:
+        lines.append(f"  stored -> {result.stored_path}")
+    return "\n".join(lines)

@@ -383,6 +383,32 @@ def _isolated_codegen_cache():
     clear_codegen_cache()
 
 
+@pytest.fixture(scope="module", autouse=True)
+def _isolated_tuned_cache():
+    """Force-tuned fuzz arms get a private cache and a tiny ladder budget."""
+    import os
+    import tempfile
+
+    from repro.tune import clear_tuned_cache
+
+    old_cache = os.environ.get("REPRO_TUNED_CACHE")
+    old_budget = os.environ.get("REPRO_TUNE_BUDGET")
+    with tempfile.TemporaryDirectory() as tmp:
+        os.environ["REPRO_TUNED_CACHE"] = tmp
+        os.environ["REPRO_TUNE_BUDGET"] = "0.005"
+        clear_tuned_cache()
+        yield
+    for key, old in (
+        ("REPRO_TUNED_CACHE", old_cache),
+        ("REPRO_TUNE_BUDGET", old_budget),
+    ):
+        if old is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = old
+    clear_tuned_cache()
+
+
 class TestBatchedEngineDifferential:
     """Randomized engine-differential tests: every generated graph must
     produce bit-identical outputs on the scalar, batched, and codegen
@@ -412,6 +438,12 @@ class TestBatchedEngineDifferential:
         generated, cg_interp = _run_engine(build, "codegen", 5)
         assert cg_interp.engine_used == "codegen"
         assert generated == scalar
+        # The tuned arm: force-tune (measured chunk + presize hints applied)
+        # and demand the same bits — tuning must never change semantics.
+        tuned, tuned_interp = _run_engine(build, "codegen", 5, tune="force")
+        assert tuned_interp.engine_used == "codegen"
+        assert tuned_interp.engine_report()["tuned"]["outcome"] == "forced"
+        assert tuned == scalar
 
     @settings(max_examples=12, deadline=None)
     @given(

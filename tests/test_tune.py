@@ -1,0 +1,469 @@
+"""Tests for the profile-guided tuner (``repro.tune``).
+
+Covers the satellite checklist of PR 7: ``_chunk_periods`` edge cases
+(tiny graphs, feedback-segmented plans, huge-rate edges), tuned-cache
+round-trip and invalidation (plan fingerprint change, host change,
+corrupted entries), the ``Interpreter(tune=...)`` wiring including the
+``SL306`` discard diagnostic, the honest-cores ``SL304`` auto-degrade,
+the work-profile hook on the partitioner, and both CLIs' ``--json``
+modes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.errors import EngineDowngradeWarning, StreamItError
+from repro.graph import ArraySource, CollectSink, Filter, Pipeline
+from repro.runtime import Interpreter
+from repro.runtime.array_channel import ArrayChannel
+from repro.runtime.plan import _CHUNK_ITEM_CAP
+from repro.tune import (
+    CHUNK_LADDER,
+    Profile,
+    TunedParams,
+    calibrate,
+    clear_tuned_cache,
+    host_fingerprint,
+    load_tuned,
+    store_tuned,
+    tune_stream,
+    tuned_cache_stats,
+    tuned_cache_summary,
+)
+from repro.tune.cache import _entry_path
+
+from .helpers import FIR, Accumulator, Gain, Offset, Square
+
+
+@pytest.fixture(autouse=True)
+def _isolated_tuned_cache(monkeypatch):
+    """Every test gets a private on-disk cache, fresh counters, tiny budget."""
+    with tempfile.TemporaryDirectory() as tmp:
+        monkeypatch.setenv("REPRO_TUNED_CACHE", tmp)
+        monkeypatch.setenv("REPRO_TUNE_BUDGET", "0.01")
+        clear_tuned_cache()
+        yield
+    clear_tuned_cache()
+
+
+def _pipeline():
+    return Pipeline(
+        ArraySource([float(i) for i in range(8)]),
+        FIR([0.25, 0.5, 0.25], name="fir"),
+        Gain(2.0, name="gain"),
+        CollectSink(),
+    )
+
+
+def _run(build, engine, periods=6, **opts):
+    app = build()
+    sink = next((f for f in app.filters() if isinstance(f, CollectSink)), None)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", EngineDowngradeWarning)
+        interp = Interpreter(app, check=False, engine=engine, **opts)
+        try:
+            interp.run(periods=periods)
+        finally:
+            interp.close()
+    return (list(sink.collected) if sink is not None else []), interp
+
+
+class _WidePush(Filter):
+    """Pushes more items per firing than the 512 KiB chunk cap covers."""
+
+    def __init__(self, width: int) -> None:
+        super().__init__(pop=1, push=width)
+        self.width = width
+
+    def work(self) -> None:
+        x = self.pop()
+        for _ in range(self.width):
+            self.push(x)
+
+
+class _WideSink(Filter):
+    def __init__(self, width: int) -> None:
+        super().__init__(pop=width, push=0)
+        self.width = width
+
+    def work(self) -> None:
+        for _ in range(self.width):
+            self.pop()
+
+
+class TestChunkPeriods:
+    """Edge cases of the static heuristic the tuner overrides."""
+
+    def test_tiny_graph_gets_full_cap(self):
+        _, interp = _run(_pipeline, "batched", periods=2)
+        # All edges move 1 item/period, so the cap divides down to itself.
+        assert interp.plan.chunk_periods == _CHUNK_ITEM_CAP
+
+    def test_huge_rate_edge_clamps_to_one(self):
+        width = _CHUNK_ITEM_CAP * 2
+
+        def build():
+            return Pipeline(
+                ArraySource([1.0, 2.0]), _WidePush(width), _WideSink(width)
+            )
+
+        _, interp = _run(build, "batched", periods=2)
+        # One period already overflows the per-edge cap: max(1, cap // width).
+        assert interp.plan.chunk_periods == 1
+
+    def test_feedback_segmented_plan_still_chunks(self):
+        from repro.graph import Identity, joiner_roundrobin, roundrobin
+        from repro.graph.composites import FeedbackLoop
+
+        def build():
+            loop = FeedbackLoop(
+                joiner_roundrobin(1, 1),
+                Gain(0.5),
+                roundrobin(1, 1),
+                Identity(),
+                delay=2,
+                init_path=lambda i: 0.0,
+            )
+            return Pipeline(
+                ArraySource([1.0, 2.0, 3.0]), loop, CollectSink()
+            )
+
+        _, interp = _run(build, "batched", periods=4)
+        plan = interp.plan
+        assert plan.segments is not None and not plan.superbatch
+        assert plan.chunk_periods >= 1
+        # The tuner's override knob works on segmented plans too.
+        plan.chunk_periods = 7
+        assert plan.chunk_periods == 7
+
+    def test_manual_override_is_honored_by_run(self):
+        def run_with_chunk(chunk):
+            app = _pipeline()
+            sink = next(f for f in app.filters() if isinstance(f, CollectSink))
+            interp = Interpreter(app, check=False, engine="batched")
+            interp.plan.chunk_periods = chunk
+            interp.run(periods=9)
+            interp.close()
+            return list(sink.collected)
+
+        scalar, _ = _run(_pipeline, "scalar", periods=9)
+        assert run_with_chunk(1) == scalar
+        assert run_with_chunk(4) == scalar
+        assert run_with_chunk(10_000) == scalar
+
+
+class TestTunedCache:
+    def test_round_trip_hit(self):
+        params = TunedParams(
+            chunk_periods=64,
+            work={"fir": 1.5e-6, "gain": 0.5e-6},
+            reserve_items={"src->fir": 4096},
+        )
+        store_tuned("f" * 32, params, meta={"engine": "batched"})
+        outcome, loaded, reason, meta = load_tuned("f" * 32)
+        assert outcome == "hit" and reason is None
+        assert loaded.chunk_periods == 64
+        assert loaded.work == params.work
+        assert loaded.reserve_items == {"src->fir": 4096}
+        assert meta["engine"] == "batched"
+        assert tuned_cache_stats["hits"] == 1
+        assert tuned_cache_stats["stores"] == 1
+
+    def test_miss_on_unknown_fingerprint(self):
+        outcome, params, reason, _ = load_tuned("0" * 32)
+        assert outcome == "miss" and params is None
+        assert tuned_cache_stats["misses"] == 1
+
+    def test_stale_on_plan_fingerprint_change(self):
+        store_tuned("a" * 32, TunedParams(chunk_periods=8), meta={})
+        # Simulate a graph edit: entry text claims a different plan hash.
+        path = _entry_path("a" * 32)
+        doc = json.loads(path.read_text())
+        doc["plan"] = "b" * 32
+        path.write_text(json.dumps(doc))
+        outcome, params, reason, _ = load_tuned("a" * 32)
+        assert outcome == "stale" and params is None
+        assert "plan" in reason
+        assert tuned_cache_stats["stale"] == 1
+
+    def test_stale_on_host_change(self):
+        store_tuned("a" * 32, TunedParams(chunk_periods=8), meta={})
+        path = _entry_path("a" * 32)
+        doc = json.loads(path.read_text())
+        doc["host"] = "deadbeefdeadbeef"
+        path.write_text(json.dumps(doc))
+        outcome, params, reason, _ = load_tuned("a" * 32)
+        assert outcome == "stale" and params is None
+        assert "host" in reason
+
+    def test_stale_on_corrupted_file(self):
+        store_tuned("a" * 32, TunedParams(chunk_periods=8), meta={})
+        _entry_path("a" * 32).write_text("{not json")
+        outcome, params, reason, _ = load_tuned("a" * 32)
+        assert outcome == "stale" and params is None
+
+    def test_stale_on_format_version_bump(self):
+        store_tuned("a" * 32, TunedParams(chunk_periods=8), meta={})
+        path = _entry_path("a" * 32)
+        doc = json.loads(path.read_text())
+        doc["format"] = 9999
+        path.write_text(json.dumps(doc))
+        outcome, params, reason, _ = load_tuned("a" * 32)
+        assert outcome == "stale" and "format" in reason
+
+    def test_params_json_round_trip(self):
+        params = TunedParams(
+            chunk_periods=None, work={"a": 0.25}, reserve_items={"a->b": 7}
+        )
+        again = TunedParams.from_json(params.to_json())
+        assert again == params
+
+    def test_summary_shape(self):
+        summary = tuned_cache_summary()
+        for key in ("hits", "misses", "stale", "stores", "disk_size", "disk_dir"):
+            assert key in summary
+
+    def test_host_fingerprint_stable(self):
+        assert host_fingerprint() == host_fingerprint()
+        assert len(host_fingerprint()) == 16
+
+
+class TestTuneStream:
+    def test_ladder_contains_default_and_best(self):
+        result = tune_stream(_pipeline, engine="batched", repeats=1)
+        assert result.ladder, "chunk ladder should run on a compiled plan"
+        assert result.default_cell in result.ladder
+        assert result.gain is not None and result.gain >= 1.0
+        # best_chunk is either a measured rung or the preserved static
+        # default (when the run was too short to discriminate above it).
+        assert (
+            result.best_chunk in result.ladder
+            or result.best_chunk == result.default_chunk
+        )
+        assert result.stored_path is not None and os.path.exists(result.stored_path)
+
+    def test_reserve_hints_follow_best_chunk(self):
+        result = tune_stream(_pipeline, engine="batched", repeats=1)
+        assert result.params.reserve_items
+        for items in result.params.reserve_items.values():
+            assert items > 0
+
+    def test_tuning_leaves_source_stream_untouched(self):
+        app = _pipeline()
+        sink = next(f for f in app.filters() if isinstance(f, CollectSink))
+        tune_stream(app, engine="batched", repeats=1)
+        # Measurements ran on clones: the caller's sink saw nothing.
+        assert list(sink.collected) == []
+
+    def test_calibrate_produces_profile(self):
+        prof = calibrate(_pipeline, periods=16)
+        assert prof.periods >= 16  # warmup periods are traced too
+        assert set(prof.work) >= {"fir", "gain"}
+        assert all(w >= 0 for w in prof.work.values())
+        assert any(items > 0 for items in prof.edge_items.values())
+
+    def test_profile_from_report_json(self):
+        doc = {
+            "filters": [
+                {"name": "a+b", "self_time_us": 30.0, "firings": 2, "items": 4},
+                {"name": "core:c+d", "self_time_us": 10.0, "firings": 1, "items": 1},
+            ]
+        }
+        prof = Profile.from_report_json(doc)
+        assert set(prof.work) == {"a", "b", "c", "d"}
+        assert prof.work["a"] == pytest.approx(15e-6)
+        assert prof.work["c"] == pytest.approx(5e-6)
+
+
+class TestInterpreterTuning:
+    def test_force_tunes_and_applies(self):
+        scalar, _ = _run(_pipeline, "scalar", periods=9)
+        tuned, interp = _run(_pipeline, "batched", periods=9, tune="force")
+        assert tuned == scalar
+        report = interp.engine_report()["tuned"]
+        assert report["outcome"] == "forced"
+        assert "chunk_periods" in report["applied"]
+        assert report["cache"]["stores"] >= 1
+
+    def test_second_process_gets_cache_hit(self):
+        _run(_pipeline, "batched", periods=4, tune="force")
+        clear_tuned_cache()  # counters only; the disk entry survives
+        tuned, interp = _run(_pipeline, "batched", periods=9, tune=True)
+        scalar, _ = _run(_pipeline, "scalar", periods=9)
+        assert tuned == scalar
+        report = interp.engine_report()["tuned"]
+        assert report["outcome"] == "hit"
+        assert report["cache"]["hits"] == 1
+        assert "chunk_periods" in report["applied"]
+
+    def test_host_mismatch_discards_with_sl306(self):
+        _, forced = _run(_pipeline, "batched", periods=4, tune="force")
+        fingerprint = forced.engine_report()["tuned"]["fingerprint"]
+        path = _entry_path(fingerprint)
+        doc = json.loads(path.read_text())
+        doc["host"] = "deadbeefdeadbeef"
+        path.write_text(json.dumps(doc))
+
+        with pytest.warns(EngineDowngradeWarning, match=r"\[SL306\]"):
+            interp = Interpreter(_pipeline(), check=False, engine="batched", tune=True)
+        report = interp.engine_report()["tuned"]
+        assert report["outcome"] == "stale"
+        assert any(d.code == "SL306" for d in interp.downgrades)
+        interp.close()
+
+    def test_sl306_never_raises_under_strict(self):
+        _, forced = _run(_pipeline, "batched", periods=4, tune="force")
+        fingerprint = forced.engine_report()["tuned"]["fingerprint"]
+        path = _entry_path(fingerprint)
+        path.write_text("{corrupt")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", EngineDowngradeWarning)
+            interp = Interpreter(
+                _pipeline(), check=False, engine="batched", strict=True, tune=True
+            )
+            scalar, _ = _run(_pipeline, "scalar", periods=6)
+            sink = next(
+                f for f in interp.stream.filters() if isinstance(f, CollectSink)
+            )
+            interp.run(periods=6)
+            assert list(sink.collected) == scalar
+            interp.close()
+
+    def test_tune_off_reports_off(self):
+        _, interp = _run(_pipeline, "batched", periods=2)
+        assert interp.engine_report()["tuned"] == {"mode": "off"}
+
+    def test_bad_tune_value_rejected(self):
+        with pytest.raises(StreamItError):
+            Interpreter(_pipeline(), check=False, tune="sometimes")
+
+    def test_codegen_force_bit_exact(self):
+        scalar, _ = _run(_pipeline, "scalar", periods=9)
+        tuned, interp = _run(_pipeline, "codegen", periods=9, tune="force")
+        assert interp.engine_used == "codegen"
+        assert tuned == scalar
+        assert "chunk_periods" in interp.engine_report()["tuned"]["applied"]
+
+
+class TestHonestCores:
+    def test_single_core_auto_degrades_with_sl304(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        with pytest.warns(EngineDowngradeWarning, match=r"\[SL304\]"):
+            interp = Interpreter(_pipeline(), check=False, engine="parallel")
+        assert interp.engine_used == "batched"
+        assert any(d.code == "SL304" for d in interp.downgrades)
+        interp.close()
+
+    def test_explicit_cores_override_wins(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        scalar, _ = _run(_pipeline, "scalar", periods=6)
+        collected, interp = _run(_pipeline, "parallel", periods=6, cores=2)
+        assert interp.engine_used == "parallel"
+        assert collected == scalar
+
+
+class TestWorkProfile:
+    def _model(self):
+        from repro.graph import flatten
+        from repro.scheduling import repetitions
+
+        stream = Pipeline(
+            ArraySource([1.0] * 8),
+            FIR([0.5, 0.5], name="fir"),
+            Square(),
+            CollectSink(),
+        )
+        graph = flatten(stream)
+        return stream, graph, repetitions(graph)
+
+    def test_apply_work_profile_rescales(self):
+        from repro.machine.model import ModelGraph
+        from repro.mapping.strategies import apply_work_profile
+
+        _, graph, reps = self._model()
+        model = ModelGraph.from_flatgraph(graph, reps)
+        static_total = sum(a.work for a in model.actors)
+        # Pretend measurement says fir is 9x the cost of everything else.
+        fir = next(a for a in model.actors if a.name == "fir")
+        others = [a for a in model.actors if a.name != "fir"]
+        profile = {fir.name: 9e-6, **{a.name: 1e-6 for a in others}}
+        applied = apply_work_profile(model, profile)
+        assert applied == len(model.actors)
+        # Total stays commensurate with the static estimate...
+        assert sum(a.work for a in model.actors) == pytest.approx(static_total)
+        # ...but the ratios now follow the measurement.
+        assert fir.work == pytest.approx(9 * others[0].work)
+
+    def test_partition_accepts_work_profile(self):
+        from repro.mapping.strategies import partition_nodes
+
+        stream, graph, reps = self._model()
+        baseline = partition_nodes(stream, graph, reps, "combined", 2)
+        profiled = partition_nodes(
+            stream, graph, reps, "combined", 2, work_profile={"fir": 5e-6}
+        )
+        # Same compute-node universe either way; only the weights moved.
+        assert sorted(n.name for n in baseline) == sorted(
+            n.name for n in profiled
+        )
+        assert all(core in (0, 1) for core in profiled.values())
+
+
+class TestPresize:
+    def test_array_channel_reserve_grows_capacity(self):
+        chan = ArrayChannel("x")
+        before = chan._buf.size
+        chan.reserve(before * 4)
+        assert chan._buf.size >= before * 4
+        chan.push(1.0)
+        assert chan.pop() == 1.0
+
+    def test_plan_presize_targets_named_edges(self):
+        interp = Interpreter(_pipeline(), check=False, engine="batched")
+        edges = {
+            f"{e.src.name}->{e.dst.name}" for e in interp.plan.graph.edges
+        }
+        interp.plan.presize({name: 1 << 18 for name in edges})
+        for edge in interp.plan.graph.edges:
+            chan = interp.plan.channels.get(edge)
+            if isinstance(chan, ArrayChannel):
+                assert chan._buf.size >= 1 << 18
+        interp.close()
+
+
+class TestTuneCLI:
+    def test_tune_json(self, capsys):
+        from repro.tune.__main__ import main
+
+        rc = main(["tune", "FIR", "--engine", "batched", "--repeats", "1", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["app"] == "FIR"
+        assert doc["ladder"]
+        assert doc["stored_path"]
+
+    def test_show_and_clear(self, capsys):
+        from repro.tune.__main__ import main
+
+        assert main(["tune", "FIR", "--engine", "batched", "--repeats", "1"]) == 0
+        capsys.readouterr()
+        assert main(["show", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["entries"]
+        assert main(["clear", "--disk"]) == 0
+        capsys.readouterr()
+        assert main(["show", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["entries"] == {}
+
+    def test_unknown_app_fails(self, capsys):
+        from repro.tune.__main__ import main
+
+        assert main(["tune", "NoSuchApp"]) == 1
