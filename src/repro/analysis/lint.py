@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.analysis.lint src/repro/apps --strict
     python -m repro.analysis.lint repro.apps.fft my_module --json OUT.json
+    python -m repro.analysis.lint src/repro/apps --graph --json OUT.json
 
 Targets may be dotted module names, single ``.py`` files, or directories
 (walked recursively for importable modules).  For every target module the
@@ -109,9 +110,12 @@ def _builders(module: object) -> List[Tuple[str, object]]:
     return found
 
 
-def _lint_module(module: object, verbose: bool) -> Tuple[Dict[str, DiagnosticBag], List[str]]:
+def _lint_module(
+    module: object, verbose: bool, graph: bool = False
+) -> Tuple[Dict[str, DiagnosticBag], Dict[str, dict], List[str]]:
     """app-label -> diagnostics for every buildable stream in ``module``."""
     apps: Dict[str, DiagnosticBag] = {}
+    graphs: Dict[str, dict] = {}
     failures: List[str] = []
     for attr, fn in _builders(module):
         label = f"{module.__name__}.{attr}"
@@ -130,7 +134,21 @@ def _lint_module(module: object, verbose: bool) -> Tuple[Dict[str, DiagnosticBag
             failures.append(f"{label}: analysis raised {type(exc).__name__}: {exc}")
             if verbose:
                 traceback.print_exc()
-    return apps, failures
+            continue
+        if graph:
+            try:
+                from repro.analysis.graph import graph_report
+
+                report = graph_report(stream)
+                apps[label].extend(report.bag)
+                graphs[label] = report.payload()
+            except Exception as exc:
+                failures.append(
+                    f"{label}: graph analysis raised {type(exc).__name__}: {exc}"
+                )
+                if verbose:
+                    traceback.print_exc()
+    return apps, graphs, failures
 
 
 def run_lint(
@@ -139,10 +157,12 @@ def run_lint(
     min_severity: Severity = Severity.WARNING,
     json_path: Optional[str] = None,
     verbose: bool = False,
+    graph: bool = False,
     out=None,
 ) -> int:
     out = out or sys.stdout
     apps: Dict[str, DiagnosticBag] = {}
+    graphs: Dict[str, dict] = {}
     failures: List[str] = []
     for target in targets:
         try:
@@ -151,8 +171,11 @@ def run_lint(
             print(f"streamlint: cannot import {target!r}: {exc}", file=sys.stderr)
             return 2
         for module in modules:
-            module_apps, module_failures = _lint_module(module, verbose)
+            module_apps, module_graphs, module_failures = _lint_module(
+                module, verbose, graph
+            )
             apps.update(module_apps)
+            graphs.update(module_graphs)
             failures.extend(module_failures)
 
     if not apps and not failures:
@@ -173,6 +196,16 @@ def run_lint(
         ]
         for d in shown:
             print(f"{label}: {d.format()}", file=out)
+        if graph and label in graphs:
+            g = graphs[label]
+            rings = g.get("rings", [])
+            proved = sum(1 for r in rings if r.get("proved"))
+            print(
+                f"{label}: graph: {len(g.get('regions', []))} certified "
+                f"region(s), {proved}/{len(rings)} ring(s) proved, "
+                f"{len(g.get('shared_state', []))} shared-state group(s)",
+                file=out,
+            )
         errors += len(bag.errors())
         warnings += len(bag.warnings())
         suppressed += sum(1 for d in bag if d.suppressed)
@@ -213,6 +246,8 @@ def run_lint(
             "suppressed": suppressed,
             "builder_failures": failures,
         }
+        if graph:
+            payload["graph"] = graphs
         with open(json_path, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
@@ -257,6 +292,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="exit non-zero on unsuppressed warnings, not just errors",
     )
     parser.add_argument(
+        "--graph",
+        action="store_true",
+        help=(
+            "also run the whole-graph pass (races, ring-capacity proofs, "
+            "certified fusion regions) per stream; adds a 'graph' section "
+            "to --json output"
+        ),
+    )
+    parser.add_argument(
         "--min-severity",
         choices=sorted(_SEVERITIES),
         default="warning",
@@ -285,6 +329,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         min_severity=_SEVERITIES[ns.min_severity],
         json_path=ns.json,
         verbose=ns.verbose,
+        graph=ns.graph,
     )
 
 

@@ -259,6 +259,11 @@ class RateAnalyzer:
         self.steps = 0
         #: id()s of objects owned by the live instance — never mutate them.
         self.foreign: Set[int] = set()
+        #: True once a channel reference was stored somewhere the analysis
+        #: cannot see through (an attribute of an opaque object, an argument
+        #: to an unevaluated call).  After that, any opaque call may drive
+        #: this filter's channels, so such calls must degrade to dynamic.
+        self.channel_escaped = False
         self.ended: List[_State] = []
 
     # -- notes ---------------------------------------------------------------
@@ -342,7 +347,10 @@ class RateAnalyzer:
             taint = _tainted(index)
             if taint is DATA:
                 self.note_blocker("peek index depends on stream data")
-            self.note_dynamic("peek index is not statically resolvable")
+            # peek() never consumes, so an unresolvable index costs only the
+            # static peek bound — the pop/push counts stay exact.
+            self.max_peek = math.inf
+            self.note_blocker("peek index is not statically resolvable")
             return DATA
         if index < 0:
             self.note_violation(f"negative peek index {index!r}")
@@ -462,8 +470,11 @@ class RateAnalyzer:
         self.exec_body(stmt.finalbody, state, depth)
 
     def _degrade_if_channel_ops(self, node: ast.AST, what: str) -> None:
-        if _has_channel_ops(node):
+        if _has_consuming_ops(node):
             self.note_dynamic(f"channel operation inside unanalyzable {what}")
+        elif _has_channel_ops(node):
+            self.max_peek = math.inf
+            self.note_blocker(f"peek inside unanalyzable {what}")
 
     def _havoc_assigned(self, node: ast.AST, state: _State) -> None:
         for sub in ast.walk(node):
@@ -612,8 +623,15 @@ class RateAnalyzer:
     def _dynamic_loop(self, stmt: ast.AST, state: _State, depth: int, what: str) -> None:
         """A loop whose trip count is unknown: body 0..inf times."""
         body = stmt.body if hasattr(stmt, "body") else []
-        if _has_channel_ops(stmt):
+        if _has_consuming_ops(stmt):
             self.note_dynamic(f"channel operation inside {what}")
+        elif _has_channel_ops(stmt):
+            # peek() never consumes: a loop of peeks with an unknown trip
+            # count leaves the pop/push counts exact — only the reachable
+            # peek window is lost (the probe below may see a resolvable
+            # index, but iteration-varying state can reach further).
+            self.max_peek = math.inf
+            self.note_blocker(f"peek window unbounded inside {what}")
         before_pop, before_push = state.pop.copy(), state.push.copy()
         # Havoc loop-assigned names, then analyze the body once for peek
         # bounds and nested findings; counts widen to [before, inf).
@@ -671,6 +689,11 @@ class RateAnalyzer:
             # self.X = … — a state write; the effects pass reports it.  The
             # attribute becomes unstable for the rest of this analysis.
             base = self.eval(target.value, state, depth)
+            if isinstance(value, _Channel):
+                # A channel reference now lives inside an object the analysis
+                # reads back as opaque (delegation idiom: inner.output =
+                # self.output); later opaque calls may push/pop through it.
+                self.channel_escaped = True
             if base is SELF:
                 self.unstable.add(target.attr)
             return
@@ -838,10 +861,12 @@ class RateAnalyzer:
             self.assign(node.target, value, state, depth)
             return value
         self.note_blocker(f"unmodelled expression {type(node).__name__}")
-        if _has_channel_ops(node):
+        if _has_consuming_ops(node):
             self.note_dynamic(
                 f"channel operation inside unmodelled {type(node).__name__}"
             )
+        elif _has_channel_ops(node):
+            self.max_peek = math.inf
         return UNKNOWN
 
     def eval_comprehension(self, node: ast.expr, state: _State, depth: int) -> Any:
@@ -971,12 +996,22 @@ class RateAnalyzer:
                     return DATA
                 if any(_tainted(a) is DATA for a in args):
                     return DATA
+                if self.channel_escaped:
+                    self.note_dynamic(
+                        f"call .{method}() on an opaque object after a "
+                        "channel reference escaped"
+                    )
                 return UNKNOWN
             callee = getattr(owner, method, None)
             return self.call_concrete(node, callee, state, depth)
         callee = self.eval(func, state, depth)
         taint = _tainted(callee)
         if taint is not None:
+            if self.channel_escaped:
+                self.note_dynamic(
+                    "call through an unresolved callee after a channel "
+                    "reference escaped"
+                )
             self._consume_args(node, state, depth)
             return UNKNOWN
         return self.call_concrete(node, callee, state, depth)
@@ -988,6 +1023,8 @@ class RateAnalyzer:
         for kw in node.keywords:
             if kw.value is not None:
                 args.append(self.eval(kw.value, state, depth))
+        if any(isinstance(a, _Channel) for a in args):
+            self.channel_escaped = True
         return args
 
     def call_channel(
@@ -1164,6 +1201,16 @@ def _has_channel_ops(node: ast.AST) -> bool:
     for sub in ast.walk(node):
         if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
             if sub.func.attr in {"pop", "peek", "push", "pop_many", "push_many"}:
+                return True
+    return False
+
+
+def _has_consuming_ops(node: ast.AST) -> bool:
+    """Channel operations that move the pop/push counters — ``peek`` is
+    read-only and excluded, so peek-only constructs never cost exactness."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+            if sub.func.attr in {"pop", "push", "pop_many", "push_many"}:
                 return True
     return False
 

@@ -27,6 +27,7 @@ diagnostic and as the structured downgrade reason on the executor.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -100,7 +101,9 @@ def prove_vectorizable(
                 reasons.append(
                     f"inferred push count {rates.push} differs from declared {rate.push}"
                 )
-            if rates.max_peek >= rate.peek:
+            if math.isinf(rates.max_peek):
+                reasons.append("peek offsets are not statically bounded")
+            elif rates.max_peek >= rate.peek:
                 reasons.append(
                     f"peek offset {int(rates.max_peek)} reaches past the "
                     f"declared peek window {rate.peek}"

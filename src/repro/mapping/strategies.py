@@ -346,13 +346,19 @@ def partition_nodes(
     :func:`apply_work_profile`, so partitions balance on recorded rather
     than declared work.
 
-    Two runtime legality fixups are applied to the model assignment:
+    Three runtime legality fixups are applied to the model assignment:
 
     * fission replicas collapse onto replica #0's core (one process owns a
       filter instance's firings; the simulator still models all replicas);
     * every strongly connected component (feedback loop) is co-located on
       the component's majority core, so no cycle crosses a blocking ring
-      boundary (which could deadlock).
+      boundary (which could deadlock);
+    * parallel race hazards found by :mod:`repro.analysis.graph` — filter
+      instances aliasing one mutable object, and teleport portal
+      sender/receiver sets — are co-located too, so forked copies never
+      diverge and messages never cross a process boundary.  Overlapping
+      constraint sets are merged (union-find) before voting, so a node in
+      two hazard groups cannot be pulled apart by a later fixup.
     """
     if strategy not in STRATEGIES:
         raise MachineError(
@@ -384,10 +390,50 @@ def partition_nodes(
             if node in io_nodes or node in part:
                 continue
             part[node] = 0
-    # Co-locate feedback cycles: a cycle split across workers would have
-    # both sides blocked waiting for the other's ring.
-    for scc in _strongly_connected(graph):
-        members = [n for n in scc if n in part]
+    # Co-location constraints: feedback cycles (a cycle split across
+    # workers would have both sides blocked waiting on the other's ring)
+    # plus the race hazards the whole-graph analysis finds (shared mutable
+    # objects, teleport portal endpoint sets).
+    constraints: List[List[FlatNode]] = [list(scc) for scc in _strongly_connected(graph)]
+    try:
+        from repro.analysis.graph import portal_links, shared_state_groups
+
+        by_name = {n.name: n for n in graph.nodes}
+        for group in shared_state_groups(graph):
+            constraints.append(
+                [by_name[nm] for nm in group.filter_names if nm in by_name]
+            )
+        for link in portal_links(graph):
+            constraints.append(
+                [
+                    by_name[nm]
+                    for nm in (link.sender, *link.receivers)
+                    if nm in by_name
+                ]
+            )
+    except Exception:  # pragma: no cover - analysis layer unavailable
+        pass
+    # Merge overlapping constraint sets (union-find), then move each merged
+    # cluster onto its majority core.
+    leader: Dict[FlatNode, FlatNode] = {}
+
+    def _find(node: FlatNode) -> FlatNode:
+        while leader.get(node, node) is not node:
+            leader[node] = leader.get(leader[node], leader[node])
+            node = leader[node]
+        return node
+
+    for members in constraints:
+        members = [n for n in members if n in part]
+        if len(members) < 2:
+            continue
+        head = _find(members[0])
+        for node in members[1:]:
+            leader[_find(node)] = head
+    clusters: Dict[FlatNode, List[FlatNode]] = {}
+    for node in part:
+        clusters.setdefault(_find(node), []).append(node)
+    for members in clusters.values():
         if len(members) < 2:
             continue
         votes: Dict[int, int] = {}

@@ -431,6 +431,9 @@ class Interpreter:
                 report["codegen"] = codegen_report()
         if self.parallel is not None:
             report["parallel"] = self.parallel.layout_report()
+        graph_analysis = self._graph_analysis_report()
+        if graph_analysis is not None:
+            report["graph_analysis"] = graph_analysis
         if self.tune != "off":
             from repro.tune import tuned_cache_summary
 
@@ -440,6 +443,51 @@ class Interpreter:
             }
         else:
             report["tuned"] = {"mode": "off"}
+        return report
+
+    def _graph_analysis_report(self) -> Optional[Dict[str, Any]]:
+        """Whole-graph analysis facts behind this session's execution.
+
+        Parallel sessions contribute their per-ring capacity proofs;
+        codegen plans contribute the certified fusion regions they fused.
+        Shared-state race groups are reported for every engine.  ``None``
+        for plain scalar/batched runs with nothing to report.
+        """
+        try:
+            from repro.analysis.graph import analyze_flat_graph
+        except Exception:  # pragma: no cover - analysis layer unavailable
+            return None
+        try:
+            analysis = analyze_flat_graph(self.graph)
+        except Exception:  # pragma: no cover - analyzer crash
+            return None
+        report: Dict[str, Any] = {
+            "shared_state": [g.payload() for g in analysis.shared_state],
+            "unbounded": [list(u) for u in analysis.unbounded],
+            "regions_certified": [r.payload() for r in analysis.regions],
+        }
+        if self.parallel is not None:
+            proofs = getattr(self.parallel, "ring_proofs", {})
+            report["rings"] = [
+                proofs[e].payload()
+                for e in self.parallel.ring_edges
+                if e in proofs
+            ]
+            report["rings_proved"] = sum(
+                1 for p in proofs.values() if p.proved
+            )
+        if self.plan is not None and getattr(self.plan, "codegen_active", False):
+            regions = getattr(self.plan, "_certified_regions", None)
+            if regions is not None:
+                report["regions_fused"] = [r.payload() for r, _run in regions]
+        if (
+            self.parallel is None
+            and "regions_fused" not in report
+            and not report["shared_state"]
+            and not report["unbounded"]
+            and not report["regions_certified"]
+        ):
+            return None
         return report
 
     def _find_portals(self) -> List[Portal]:

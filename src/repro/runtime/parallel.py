@@ -40,6 +40,7 @@ setup; the interpreter downgrades to ``engine="batched"`` with a structured
 from __future__ import annotations
 
 import multiprocessing
+import os
 import signal
 import threading
 import traceback
@@ -188,31 +189,6 @@ class ParallelSession:
             1, min(_BATCH_MAX_PERIODS, _BATCH_TARGET_ITEMS // max(1, heaviest))
         )
 
-        # One arena segment for every cross edge: capacity covers the init
-        # peak (buffer_bounds) plus two full batches of slack, so a producer
-        # can run a whole batch ahead without blocking mid-phase.
-        self._arena = RingArena(
-            [
-                program.buffer_bounds[e]
-                + 2 * self.batch_periods * items_per_period[e]
-                + 64
-                for e in cross
-            ]
-        )
-        self.channels: Dict[object, object] = {}
-        for i, edge in enumerate(cross):
-            self.channels[edge] = self._arena.ring(
-                i,
-                name=f"{edge.src.name}->{edge.dst.name}",
-                initial=edge.initial,
-            )
-        for edge in graph.edges:
-            if edge not in self.channels:
-                self.channels[edge] = ArrayChannel(
-                    name=f"{edge.src.name}->{edge.dst.name}", initial=edge.initial
-                )
-        self.ring_edges = list(cross)
-
         self.specs: List[WorkerSpec] = []
         for wid in range(self.n_workers):
             nodes = frozenset(
@@ -239,6 +215,56 @@ class ParallelSession:
         # Per-period execution everywhere mirrors the global schedule's
         # granularity, which is deadlock-free by construction.
         self.monolithic = all(spec.scale_ok for spec in self.specs)
+
+        # Ring capacities: the whole-graph analysis replays the per-worker
+        # schedules at this session's exact firing granularity and proves a
+        # minimal stall-free capacity per cross edge (repro.analysis.graph).
+        # Allocated capacity adds REPRO_RING_SLACK extra batches of headroom
+        # (default 1) so pipelined producers can run ahead without touching
+        # the proof; REPRO_RING_SLACK=0 runs at the proved minimum.  If the
+        # replay cannot complete, the proof object itself carries the legacy
+        # guess (init peak + two batches + slop) with proved=False.
+        self.ring_proofs: Dict[object, object] = {}
+        try:
+            from repro.analysis.graph import ring_capacity_proofs
+
+            self.ring_proofs = ring_capacity_proofs(
+                program, self.node_wid, self.batch_periods, self.monolithic
+            )
+        except Exception:  # pragma: no cover - analysis layer unavailable
+            self.ring_proofs = {}
+        try:
+            slack_batches = max(0, int(os.environ.get("REPRO_RING_SLACK", "1")))
+        except ValueError:
+            slack_batches = 1
+        capacities: List[int] = []
+        for e in cross:
+            proof = self.ring_proofs.get(e)
+            if proof is not None:
+                cap = proof.capacity
+                if proof.proved:
+                    cap += slack_batches * self.batch_periods * items_per_period[e]
+            else:
+                cap = (
+                    program.buffer_bounds[e]
+                    + 2 * self.batch_periods * items_per_period[e]
+                    + 64
+                )
+            capacities.append(cap)
+        self._arena = RingArena(capacities)
+        self.channels: Dict[object, object] = {}
+        for i, edge in enumerate(cross):
+            self.channels[edge] = self._arena.ring(
+                i,
+                name=f"{edge.src.name}->{edge.dst.name}",
+                initial=edge.initial,
+            )
+        for edge in graph.edges:
+            if edge not in self.channels:
+                self.channels[edge] = ArrayChannel(
+                    name=f"{edge.src.name}->{edge.dst.name}", initial=edge.initial
+                )
+        self.ring_edges = list(cross)
 
         # Tracing (repro.obs): decided before the fork so parent and
         # children agree.  Each process buffers its own Chrome-shaped span
@@ -303,6 +329,15 @@ class ParallelSession:
                 raise ParallelUnsafe(
                     f"filter {node.name!r} has dynamic rates "
                     f"({'; '.join(rates.dynamic)})"
+                )
+            # SL402: unbounded effects (dynamic writes, self escapes) mean
+            # race freedom across forked workers cannot be proven.
+            effects = analyze_filter(node.filter).effects
+            if effects is not None and (effects.dynamic or effects.escapes):
+                reasons = "; ".join((*effects.dynamic, *effects.escapes))
+                raise ParallelUnsafe(
+                    f"filter {node.name!r} has statically unbounded effects "
+                    f"({reasons}); parallel race freedom is unprovable (SL402)"
                 )
 
     # -- worker body (both the parent-as-worker-0 and forked children) --------
@@ -713,4 +748,14 @@ class ParallelSession:
             ],
             "batch_periods": self.batch_periods,
             "work_profiled": self.work_profile is not None,
+            "rings_proved": sum(1 for p in self.ring_proofs.values() if p.proved),
+            "ring_capacities": {
+                f"{e.src.name}->{e.dst.name}": self.channels[e].capacity
+                for e in self.ring_edges
+            },
+            "ring_proofs": [
+                self.ring_proofs[e].payload()
+                for e in self.ring_edges
+                if e in self.ring_proofs
+            ],
         }

@@ -52,6 +52,7 @@ loop-sequential app filters, the generic lifter, and the FFT filters do;
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -865,6 +866,50 @@ class ExecutionPlan:
             pos = end + 1
         out.extend(phases[pos:])
         return out
+
+    @property
+    def certified_regions(self) -> List[Tuple[object, CoreLoopRunner]]:
+        """Certified cross-splitjoin fusion regions, with a runner for each.
+
+        Only superbatch plans qualify (a single topological sweep makes
+        every region single-appearance), and only the codegen engine
+        consumes the result — it collapses each region's member phases into
+        one closed loop at the first member's position.  Each entry is
+        ``(FusionRegion, CoreLoopRunner)``; the runner fires the region's
+        nodes in the global steady order, once per period, over hoisted
+        list tapes — observationally identical to the member phases it
+        replaces.  Opt-in via ``REPRO_CODEGEN_REGIONS=1``: the certificate
+        guarantees bit-exactness, but the region runner fires one firing at
+        a time, and E15 measured that trading the members' *vectorized*
+        block kernels for it loses 3-50x at codegen's superbatch operating
+        point on every suite app with a region — so the default leaves the
+        proved fusion unused.  Lazy and instance-specific: runners capture
+        this plan's live channels, so the result never enters the shared
+        analysis cache.
+        """
+        cached = getattr(self, "_certified_regions", None)
+        if cached is not None:
+            return cached
+        regions: List[Tuple[object, CoreLoopRunner]] = []
+        if self.superbatch and os.environ.get("REPRO_CODEGEN_REGIONS", "0") == "1":
+            try:
+                from repro.analysis.graph import certified_fusion_regions
+                from repro.scheduling.steady import restrict_schedule
+
+                program = self.interp.program
+                for region in certified_fusion_regions(self.graph):
+                    phases = restrict_schedule(
+                        program.steady, set(region.members)
+                    )
+                    if not phases.phases:
+                        continue
+                    regions.append(
+                        (region, CoreLoopRunner(list(phases.phases), self.channels))
+                    )
+            except Exception:  # pragma: no cover - analysis layer unavailable
+                regions = []
+        self._certified_regions = regions
+        return regions
 
     @property
     def fused_chains(self) -> List[Tuple[str, ...]]:

@@ -92,6 +92,24 @@ class WhilePusher(Filter):
             x = x - 1.0
 
 
+class PeekScanner(Filter):
+    """Scans forward with peek() in a data-dependent loop before popping.
+
+    Adversarial for interval widening: the *peek window* is unbounded, but
+    the pop/push counts are exactly 1 — the checker must keep the counts
+    exact (no SL005/SL001) and report only an unbounded lookahead.
+    """
+
+    def __init__(self):
+        super().__init__(peek=4, pop=1, push=1)
+
+    def work(self):
+        i = 0
+        while self.peek(i) < 0.5:
+            i = i + 1
+        self.push(self.pop())
+
+
 class OverPeek(Filter):
     """Declares peek=8 but only ever inspects offset 0 (SL007)."""
 
@@ -316,6 +334,22 @@ class TestRates:
         assert "SL005" in codes
         assert "SL001" not in codes and "SL002" not in codes
         assert analysis.rates.dynamic
+
+    def test_peek_scan_before_pop_keeps_counts_exact(self):
+        # Regression: the while-loop widener used to treat the peeks as
+        # consuming, widening pop to [1, inf) and emitting a false SL005.
+        # peek() is non-consuming: counts stay exact, only the lookahead
+        # window becomes unbounded (an honest certification blocker).
+        import math
+
+        analysis, codes = codes_of(PeekScanner())
+        assert analysis.rates.exact
+        assert analysis.rates.pop.exact and analysis.rates.pop.hi == 1
+        assert analysis.rates.push.exact and analysis.rates.push.hi == 1
+        assert not analysis.rates.dynamic
+        assert math.isinf(analysis.rates.max_peek)
+        assert analysis.rates.cert_blockers
+        assert not codes & {"SL001", "SL002", "SL005"}
 
     def test_over_declared_peek_is_info(self):
         analysis, codes = codes_of(OverPeek())
@@ -606,6 +640,30 @@ class TestLintCLI:
 
     def test_unimportable_target_is_usage_error(self, capsys):
         assert lint_main(["repro.analysis_does_not_exist"]) == 2
+
+    def test_graph_flag_adds_graph_section(self, tmp_path, capsys):
+        report = tmp_path / "lint.json"
+        target = self._write(tmp_path, "graphapp", _CLEAN_MODULE)
+        rc = lint_main([target, "--graph", "--json", str(report)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "graph:" in out
+        payload = json.loads(report.read_text())
+        assert "graph" in payload
+        [(label, g)] = payload["graph"].items()
+        assert label.endswith(".build")
+        for key in ("rings", "regions", "shared_state", "verified"):
+            assert key in g, key
+        # Without --graph the JSON schema is unchanged.
+        rc = lint_main([target, "--json", str(report)])
+        assert rc == 0
+        assert "graph" not in json.loads(report.read_text())
+
+    def test_graph_flag_clean_on_app_suite_module(self, capsys):
+        rc = lint_main(["repro.apps.fmradio", "--graph", "--strict"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "certified region(s)" in out
 
     def test_app_suite_strict_clean(self, capsys):
         rc = lint_main(["src/repro/apps", "--strict"])

@@ -635,3 +635,123 @@ class TestParallelEngineDifferential:
                 continue
             ran_parallel.append(strategy)
             assert out == scalar, f"{strategy}: parallel output diverged"
+
+
+# ---------------------------------------------------------------------------
+# Differential fuzzing: whole-graph analysis artifacts (fusion regions and
+# ring-capacity proofs) on random splitjoin graphs
+# ---------------------------------------------------------------------------
+
+
+def _random_pure_stage(g):
+    """A filter the analyzer can certify: pure, exact rates."""
+    if g.integers(0, 2):
+        return _FuzzMap(
+            float(g.uniform(-2, 2)), float(g.uniform(-1, 1)), int(g.integers(0, 3))
+        )
+    return _FuzzPeek(
+        [float(v) for v in g.uniform(-1, 1, size=int(g.integers(2, 5)))]
+    )
+
+
+def _random_certifiable_splitjoin(g):
+    """A splitjoin whose branches are chains of pure SISO filters —
+    exactly the shape ``certified_fusion_regions`` must accept."""
+    branches = int(g.integers(2, 5))
+    children = []
+    for _ in range(branches):
+        stages = [_random_pure_stage(g) for _ in range(int(g.integers(1, 3)))]
+        children.append(Pipeline(*stages) if len(stages) > 1 else stages[0])
+    if g.integers(0, 2):
+        return SplitJoin(duplicate(), children, joiner_roundrobin())
+    return SplitJoin(
+        roundrobin(*([1] * branches)), children, joiner_roundrobin(*([1] * branches))
+    )
+
+
+class TestGraphAnalysisDifferential:
+    """Randomized guards on the whole-graph analysis artifacts.
+
+    Every random splitjoin built from pure branches must yield a certified
+    fusion region; fusing it in codegen must stay bit-exact vs scalar; and
+    the parallel engine must run stall-free at the statically-proved
+    minimal ring capacities (``REPRO_RING_SLACK=0``) with identical output.
+    """
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_certified_regions_fuse_bit_exact(self, seed):
+        import os
+
+        from repro.analysis.graph import certified_fusion_regions
+        from repro.graph.flatgraph import flatten
+
+        gen = np.random.default_rng(seed)
+        data = [float(v) for v in gen.uniform(-4, 4, size=8)]
+        spec_seed = int(gen.integers(0, 2**32))
+
+        def build():
+            g = np.random.default_rng(spec_seed)
+            stages = [_random_certifiable_splitjoin(g)]
+            if g.integers(0, 2):
+                stages.append(_random_pure_stage(g))
+            return Pipeline(ArraySource(data), *stages, CollectSink())
+
+        regions = certified_fusion_regions(flatten(build()))
+        assert regions, "pure-branch splitjoin must certify a region"
+
+        scalar, _ = _run_engine(build, "scalar", 5)
+        old = os.environ.get("REPRO_CODEGEN_REGIONS")
+        os.environ["REPRO_CODEGEN_REGIONS"] = "1"
+        try:
+            generated, cg_interp = _run_engine(build, "codegen", 5)
+        finally:
+            if old is None:
+                os.environ.pop("REPRO_CODEGEN_REGIONS", None)
+            else:
+                os.environ["REPRO_CODEGEN_REGIONS"] = old
+        assert generated == scalar
+        if cg_interp.engine_used == "codegen":
+            report = cg_interp.engine_report()["codegen"]
+            blocks = report["blocks"] or []
+            assert [b for b in blocks if b["kind"] == "region"], (
+                "certified region did not reach the emitted module"
+            )
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_parallel_stall_free_at_proved_capacity(self, seed):
+        import os
+
+        gen = np.random.default_rng(seed)
+        data = [float(v) for v in gen.uniform(-4, 4, size=8)]
+        spec_seed = int(gen.integers(0, 2**32))
+
+        def build():
+            g = np.random.default_rng(spec_seed)
+            return Pipeline(
+                ArraySource(data),
+                _random_certifiable_splitjoin(g),
+                _random_pure_stage(g),
+                CollectSink(),
+            )
+
+        scalar, _ = _run_engine(build, "scalar", 5)
+        old = os.environ.get("REPRO_RING_SLACK")
+        os.environ["REPRO_RING_SLACK"] = "0"
+        try:
+            out, interp = _run_engine(
+                build, "parallel", 5, strategy="softpipe", cores=2
+            )
+        finally:
+            if old is None:
+                os.environ.pop("REPRO_RING_SLACK", None)
+            else:
+                os.environ["REPRO_RING_SLACK"] = old
+        assert out == scalar
+        if interp.engine_used == "parallel":
+            session = interp.parallel
+            proofs = session.ring_proofs
+            assert all(p.proved for p in proofs.values())
+            for edge in session.ring_edges:
+                assert session.channels[edge].capacity == proofs[edge].capacity
