@@ -10,6 +10,22 @@ meaningful relative to it (on a 1-CPU container the parallel engine
 timeslices its workers and cannot beat the batched engine; the simulated
 column shows what the mapping would buy on real cores).
 
+The simulated column no longer ignores communication (EXPERIMENTS §E11
+documents the model delta): the raw machine-model prediction — compute
+cycles only, reported as ``simulated_speedup_compute`` — systematically
+overpromised (1.9x–3.7x against measured 0.2x–0.6x).  The headline
+``simulated_speedup`` now charges every cross-core item one measured
+shared-memory ring transfer (push + pop through a real
+:class:`~repro.runtime.ring.RingChannel`, calibrated once per run):
+
+    T_par = T_batched / S_compute + ring_items_per_period * c_ring
+    simulated_speedup = T_batched / T_par
+
+where ``T_batched`` is the measured batched seconds per period.  This is a
+*cost model*, not a simulation of contention: it keeps the prediction
+engine-independent while pricing in the traffic the partition actually
+creates.
+
 Run standalone (CI's ``parallel-smoke`` job uses ``--smoke``: three small
 apps at ``cores=2`` and tiny period counts, correctness + plumbing only)::
 
@@ -53,10 +69,14 @@ SMOKE_APPS = ("FMRadio", "FilterBank", "Vocoder")
 
 
 def _measure(build, periods, label, engine, **opts):
+    # Best-of-3, same rule for every engine: on a timesliced host the
+    # scheduler can wedge a multi-process run into a starved phase for a
+    # whole (millisecond-scale) window, so single shots measure the
+    # scheduler's mood, not the engine's attainable rate.
     return max(
         (
             measure_throughput(build, periods, label=label, engine=engine, **opts)
-            for _ in range(2)
+            for _ in range(3)
         ),
         key=lambda s: s.items_per_second,
     )
@@ -77,19 +97,70 @@ def worker_busy(build, periods: int, cores: int) -> str:
     )
 
 
-def simulated_speedup(name: str, cores: int) -> float:
-    """The machine model's predicted speedup for this mapping at ``cores``."""
-    return STRATEGIES[STRATEGY](ALL_APPS[name](), RawMachine(n_cores=cores)).speedup
+def calibrate_ring_cost(items: int = 1 << 16, chunk: int = 1 << 10) -> float:
+    """Measured seconds to move one float64 through a shared-memory ring.
+
+    Single-process push_block/pop_block round trips — the copy + counter
+    cost of a transfer, deliberately excluding contention (the cost model
+    prices traffic, not scheduling).
+    """
+    import time as _time
+
+    import numpy as np
+
+    from repro.runtime.ring import RingArena
+
+    arena = RingArena([2 * chunk])
+    try:
+        ring = arena.ring(0, name="calibration")
+        block = np.arange(chunk, dtype=np.float64)
+        # Warm the path once before timing.
+        ring.push_block(block)
+        ring.pop_block(chunk)
+        moved = 0
+        t0 = _time.perf_counter()
+        while moved < items:
+            ring.push_block(block)
+            ring.pop_block(chunk)
+            moved += chunk
+        elapsed = _time.perf_counter() - t0
+    finally:
+        arena.release(True)
+    return elapsed / moved
+
+
+def simulated_speedup(
+    name: str, cores: int, batched_sec_per_period: float, ring_cost_s: float
+):
+    """Model prediction for this mapping at ``cores``, with transfer costs.
+
+    Returns ``(adjusted, compute_only, ring_items_per_period)``:
+    ``compute_only`` is the raw machine-model speedup (the old overpromising
+    column); ``adjusted`` charges every item crossing a core boundary one
+    calibrated ring transfer against the measured batched period time.
+    """
+    result = STRATEGIES[STRATEGY](ALL_APPS[name](), RawMachine(n_cores=cores))
+    compute = result.speedup
+    ring_items = sum(
+        e.words
+        for e in result.model.edges
+        if result.assignment.get(e.src) != result.assignment.get(e.dst)
+    )
+    t_par = batched_sec_per_period / max(compute, 1e-12) + ring_items * ring_cost_s
+    adjusted = batched_sec_per_period / t_par if t_par > 0 else compute
+    return adjusted, compute, ring_items
 
 
 def run_bench(smoke: bool = False):
     apps = [(n, p) for n, p in APPS if not smoke or n in SMOKE_APPS]
     core_counts = (2,) if smoke else CORE_COUNTS
     periods_scale = 0.05 if smoke else 1.0
+    ring_cost = calibrate_ring_cost()
     table = {
         "strategy": STRATEGY,
         "host_cpus": os.cpu_count(),
         "core_counts": list(core_counts),
+        "ring_cost_per_item_s": ring_cost,
         "apps": {},
     }
     with warnings.catch_warnings():
@@ -113,10 +184,15 @@ def run_bench(smoke: bool = False):
                     cores=cores,
                 )
                 measured = par.items_per_second / batched.items_per_second
+                adjusted, compute, ring_items = simulated_speedup(
+                    name, cores, batched.seconds / periods, ring_cost
+                )
                 row["parallel"][str(cores)] = {
                     "items_per_sec": par.items_per_second,
                     "measured_speedup_vs_batched": measured,
-                    "simulated_speedup": simulated_speedup(name, cores),
+                    "simulated_speedup": adjusted,
+                    "simulated_speedup_compute": compute,
+                    "ring_items_per_period": ring_items,
                 }
             # Where the workers' time goes, from a short traced run at the
             # largest core count (separate run; the timed ones stay untraced).
@@ -142,17 +218,22 @@ def render(table) -> str:
         "== E11: parallel runtime — batched vs parallel "
         f"({table['strategy']}, host has {table['host_cpus']} CPU(s)) ==",
         f"{'Benchmark':16s}{'batched it/s':>13s}"
-        + "".join(f"{f'par@{c} it/s':>13s}{f'meas@{c}':>9s}{f'sim@{c}':>8s}" for c in cores)
+        + "".join(
+            f"{f'par@{c} it/s':>13s}{f'meas@{c}':>9s}{f'sim@{c}(raw)':>13s}"
+            for c in cores
+        )
         + f"  worker busy @{cores[-1]} (traced)",
     ]
     for name, row in table["apps"].items():
         cells = ""
         for c in cores:
             p = row["parallel"][str(c)]
+            sim_compute = p.get("simulated_speedup_compute", p["simulated_speedup"])
             cells += (
                 f"{p['items_per_sec']:13.0f}"
                 f"{p['measured_speedup_vs_batched']:8.2f}x"
-                f"{p['simulated_speedup']:7.2f}x"
+                f"{p['simulated_speedup']:6.2f}x"
+                f"({sim_compute:.1f})"
             )
         busy = row.get("worker_busy", "")
         lines.append(
@@ -172,7 +253,10 @@ def _check(table) -> None:
         for cores in table["core_counts"]:
             cell = row["parallel"][str(cores)]
             assert cell["items_per_sec"] > 0, f"{name}@{cores}"
-            assert cell["simulated_speedup"] >= 1.0, f"{name}@{cores}"
+            # The compute-only prediction must still promise a win; the
+            # transfer-adjusted one is allowed to (honestly) fall below 1.
+            assert cell["simulated_speedup_compute"] >= 1.0, f"{name}@{cores}"
+            assert cell["simulated_speedup"] > 0.0, f"{name}@{cores}"
 
 
 def test_e11_parallel_runtime(report):
@@ -186,7 +270,10 @@ if __name__ == "__main__":
     smoke = "--smoke" in sys.argv
     table = run_bench(smoke=smoke)
     print(render(table))
-    if not smoke:
-        _check(table)
+    if smoke:
+        # Correctness/plumbing only — don't clobber the committed table
+        # with a 3-app run at toy period counts.
+        sys.exit(0)
+    _check(table)
     RESULT_PATH.write_text(json.dumps(table, indent=2) + "\n")
     print(f"\nwrote {RESULT_PATH}")

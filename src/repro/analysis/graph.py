@@ -441,6 +441,16 @@ class RingProof:
     items_per_period: int
     #: The schedule's sequential buffer bound, for comparison.
     schedule_bound: int
+    #: Items one batch generation pushes (batch_periods × items_per_period).
+    batch_items: int = 0
+    #: Certified double-buffered capacity: ``capacity + batch_items``.  The
+    #: witness replay proves the barrier-free peak is ``capacity`` (the
+    #: replay models no barriers at all), so one extra batch generation of
+    #: headroom lets producers run a whole batch ahead of consumers while
+    #: the proof's deadlock-freedom argument still applies verbatim — the
+    #: 2× bound the double-buffered discipline allocates at the default
+    #: REPRO_RING_SLACK=1.  Meaningful only when ``proved`` is True.
+    db_capacity: int = 0
 
     def payload(self) -> Dict[str, Any]:
         return {
@@ -453,6 +463,8 @@ class RingProof:
             "reason": self.reason,
             "items_per_period": self.items_per_period,
             "schedule_bound": self.schedule_bound,
+            "batch_items": self.batch_items,
+            "db_capacity": self.db_capacity,
         }
 
 
@@ -496,6 +508,14 @@ def ring_capacity_proofs(
     witness (enough items) and its consumers are too (enough space) — so
     the session cannot deadlock.  The replay peak is therefore a proved
     minimal safe capacity.
+
+    Because the replay models no barriers, a proved capacity certifies
+    **barrier-free** execution directly: the parallel engine's
+    double-buffered discipline drops the per-batch barrier for DAG
+    strategies whenever every cross edge is proved, and each proof also
+    carries the certified 2× bound ``db_capacity = capacity +
+    batch_items`` — the allocation that lets producers run one whole
+    batch generation ahead (the second buffer) at the default slack.
 
     If the greedy replay wedges (it should not, for schedules built by
     :func:`~repro.scheduling.steady.build_schedule`), every cross edge
@@ -575,6 +595,7 @@ def ring_capacity_proofs(
             capacity = _fallback_capacity(program, e, batch_periods, per_period[e])
             proved = False
             reason = stuck
+        batch_items = batch_periods * per_period[e]
         proofs[e] = RingProof(
             edge_name=f"{e.src.name}->{e.dst.name}",
             src=e.src.name,
@@ -587,6 +608,8 @@ def ring_capacity_proofs(
             reason=reason,
             items_per_period=per_period[e],
             schedule_bound=program.buffer_bounds[e],
+            batch_items=batch_items,
+            db_capacity=(capacity + batch_items) if proved else 0,
         )
     return proofs
 

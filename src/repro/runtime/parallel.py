@@ -20,17 +20,32 @@ produced by the :mod:`repro.mapping.strategies` pipeline on real OS cores:
   (:func:`repro.runtime.plan.make_node_executor`) over its restricted
   schedule (:func:`repro.scheduling.steady.restrict_schedule`);
 * a steady-state request runs in batches of :attr:`batch_periods` periods.
-  Task/data-style strategies (``task``, ``fine_grained``, ``data``) use the
-  **dag** discipline — a barrier after every batch, the per-period barrier
-  of the paper's DAG schedules at batch granularity.  Software-pipelined
-  strategies (``softpipe``, ``combined``, ``space``) free-run: the init
-  schedule acts as the pipeline prologue and the ring slack (two batches per
-  edge) realizes the steady-state overlap of the modulo schedule;
-* workers obey a tiny command protocol (init / steady(p) / shutdown) over
-  the arena header plus start/finish barriers, report failures through an
-  error queue tagged with the firing filter's instance name, and unblock
-  each other on any failure via the arena-wide abort flag — no orphaned
-  processes, no partial hangs.
+  Software-pipelined strategies (``softpipe``, ``combined``, ``space``)
+  free-run: the init schedule acts as the pipeline prologue and the ring
+  slack realizes the steady-state overlap of the modulo schedule.
+  Task/data-style strategies (``task``, ``fine_grained``, ``data``) run
+  **double-buffered** whenever every cross-worker ring capacity is proved
+  (SL404): the allocated capacity holds the proved single-batch peak plus a
+  full second batch generation, so producers run ahead into buffer
+  generation ``g+1`` while consumers drain generation ``g`` — no per-batch
+  barrier at all.  Only when a capacity proof is unavailable (or
+  ``REPRO_PARALLEL_LEGACY=1`` forces it) do they fall back to the legacy
+  **dag** discipline with its barrier after every batch;
+* workers obey a *batched* command protocol: one steady-run **program**
+  (period count + chunk schedule, written once into the arena header) per
+  ``run_steady()`` call, so workers free-run through the whole request with
+  zero mid-run round trips.  Control traffic is counted
+  (``protocol_report()``) and CI asserts O(1) commands per worker per run.
+  Failures are reported through an error queue tagged with the firing
+  filter's instance name, and every peer is unblocked via the arena-wide
+  abort flag — no orphaned processes, no partial hangs;
+* setup is amortized: workers fork once per session and stay warm across
+  ``run()`` calls (``fork_count`` is observable), the partition/proof
+  computation is memoized in a structural plan cache keyed by the PR-6
+  plan fingerprint, and shared-memory segments are parked in a bounded
+  warm-arena pool on clean close so the next session of the same footprint
+  skips ``shm_open``/``mmap`` (:func:`drain_warm_arenas` reclaims them;
+  an ``atexit`` hook drains at interpreter shutdown).
 
 Graphs the engine cannot run safely raise :class:`ParallelUnsafe` during
 setup; the interpreter downgrades to ``engine="batched"`` with a structured
@@ -39,10 +54,13 @@ setup; the interpreter downgrades to ``engine="batched"`` with a structured
 
 from __future__ import annotations
 
+import atexit
+import gc
 import multiprocessing
 import os
 import signal
 import threading
+import time
 import traceback
 import weakref
 from dataclasses import dataclass
@@ -52,25 +70,147 @@ from repro.errors import StreamItError
 from repro.graph.flatgraph import FILTER, FlatNode
 from repro.runtime.array_channel import ArrayChannel
 from repro.runtime.plan import make_node_executor
-from repro.runtime.ring import RingAbort, RingArena, RingChannel, RingStall
+from repro.runtime.ring import (
+    _MAX_SLEEP,
+    _SPIN_ITERS,
+    RingAbort,
+    RingArena,
+    RingChannel,
+    RingStall,
+)
 from repro.scheduling.steady import Schedule, restrict_schedule
 
 #: Command codes written to the arena header by the parent.
 _CMD_INIT, _CMD_STEADY, _CMD_SHUTDOWN = 1, 2, 3
 
 #: Target items per cross-worker edge per batch (sizes batch_periods).
-_BATCH_TARGET_ITEMS = 1 << 14
+#: Bigger batches amortize the per-batch Python dispatch each worker pays
+#: per node; ~1 MiB of float64 per edge bounds the shared-memory cost.
+_BATCH_TARGET_ITEMS = 1 << 17
 #: Upper bound on periods per batch.
-_BATCH_MAX_PERIODS = 512
+_BATCH_MAX_PERIODS = 4096
+#: Pre-overhaul batch bounds, kept for REPRO_PARALLEL_LEGACY sessions so
+#: the before/after comparison measures the engine it claims to.
+_LEGACY_BATCH_TARGET_ITEMS = 1 << 14
+_LEGACY_BATCH_MAX_PERIODS = 512
+#: Backoff-nap ceiling for session rings: a blocked worker overshoots its
+#: peer's finish by at most this much (legacy rings keep the ring module's
+#: 1 ms default, which wasted a visible slice of every batch).  On
+#: oversubscribed hosts each wake-up also *preempts* the busy peer, so the
+#: ceiling trades tail latency against stolen quanta — 400 us measured
+#: best across the app suite on a single-CPU host.
+_WAIT_SLEEP_CAP = 400e-6
 #: Seconds a barrier wait may block before the session is declared dead.
 _BARRIER_TIMEOUT = 300.0
 
-#: Strategies executed under the per-batch-barrier (DAG) discipline; the
-#: rest are software-pipelined (free-running, ring slack = overlap).
+#: Strategies whose paper discipline is per-period DAG barriers; with
+#: proved ring capacities they run barrier-free under double buffering.
 _DAG_STRATEGIES = frozenset({"task", "fine_grained", "data"})
 
 #: Per-command cap on one worker's locally-buffered trace spans.
 _TRACE_BUF_CAP = 200_000
+
+
+def _legacy_mode() -> bool:
+    """``REPRO_PARALLEL_LEGACY=1`` reverts to the pre-overhaul behaviour:
+    per-batch DAG barriers, no structural plan cache, no warm-arena pool.
+    Exists so benchmarks can measure the overhaul on the same host."""
+    return os.environ.get("REPRO_PARALLEL_LEGACY", "") == "1"
+
+
+def _stall_deadline() -> float:
+    """Seconds a blocked ring wait may starve before RingStall fires
+    (``REPRO_RING_STALL_S``, default 120)."""
+    try:
+        return max(0.01, float(os.environ.get("REPRO_RING_STALL_S", "120")))
+    except ValueError:
+        return 120.0
+
+
+# ---------------------------------------------------------------------------
+# Warm-arena pool: shared-memory segments parked across sessions
+# ---------------------------------------------------------------------------
+
+#: Parked (still-mapped) shared-memory segments from cleanly-closed
+#: sessions, newest last.  Bounded; drained at interpreter exit.
+_WARM_ARENAS: List[object] = []
+_WARM_ARENAS_MAX = 4
+
+
+def drain_warm_arenas() -> int:
+    """Unlink every parked shared-memory segment; returns how many."""
+    drained = 0
+    while _WARM_ARENAS:
+        segment = _WARM_ARENAS.pop()
+        try:
+            segment.close()
+            segment.unlink()
+        except Exception:  # pragma: no cover - already gone
+            pass
+        drained += 1
+    return drained
+
+
+atexit.register(drain_warm_arenas)
+
+
+def _adopt_warm_arena(size_needed: int):
+    """Smallest parked segment that fits, or None (pool keeps the rest)."""
+    fits = [s for s in _WARM_ARENAS if s.size >= size_needed]
+    if not fits:
+        return None
+    best = min(fits, key=lambda s: s.size)
+    _WARM_ARENAS.remove(best)
+    return best
+
+
+def _park_arena(arena: RingArena) -> bool:
+    """Park a cleanly-closed arena's segment for reuse (bounded pool)."""
+    segment = arena.park()
+    if segment is None:
+        return False
+    _WARM_ARENAS.append(segment)
+    while len(_WARM_ARENAS) > _WARM_ARENAS_MAX:
+        victim = _WARM_ARENAS.pop(0)
+        try:
+            victim.close()
+            victim.unlink()
+        except Exception:  # pragma: no cover - already gone
+            pass
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Structural plan cache: partition + proofs memoized by plan fingerprint
+# ---------------------------------------------------------------------------
+
+#: fingerprint-keyed structural decisions (partition by node name, batch
+#: sizing, ring-capacity proof payloads) — everything about a session that
+#: depends only on the graph's structure, not on live filter state.
+_STRUCT_CACHE: Dict[Tuple, Dict[str, object]] = {}
+_STRUCT_CACHE_MAX = 32
+struct_cache_stats = {"hits": 0, "misses": 0}
+
+
+def clear_struct_cache() -> None:
+    _STRUCT_CACHE.clear()
+    struct_cache_stats["hits"] = 0
+    struct_cache_stats["misses"] = 0
+
+
+def _struct_cache_key(interp, strategy: str, cores: int, work_profile) -> Optional[Tuple]:
+    try:
+        from repro.tune import stream_fingerprint
+
+        fingerprint = stream_fingerprint(interp.graph, interp.program, (), ())
+    except Exception:  # pragma: no cover - fingerprint layer unavailable
+        return None
+    profile_key = (
+        tuple(sorted((k, round(v, 9)) for k, v in work_profile.items()))
+        if work_profile
+        else ()
+    )
+    return (fingerprint, strategy, int(cores), profile_key)
 
 
 def _release_arena(arena: RingArena, rings: List[RingChannel]) -> None:
@@ -137,7 +277,22 @@ class ParallelSession:
         #: Measured per-period work (repro.tune) that reweighted this
         #: partition, or None when the static estimates were used.
         self.work_profile = dict(work_profile) if work_profile else None
-        self.discipline = "dag" if strategy in _DAG_STRATEGIES else "pipelined"
+        self.legacy = _legacy_mode()
+        #: Control-plane accounting: every fork, command, and barrier wait
+        #: the parent issues.  ``steady_commands / steady_runs == 1`` is the
+        #: batched-protocol invariant CI asserts.
+        self.protocol: Dict[str, object] = {
+            "fork_count": 0,
+            "commands": {"init": 0, "steady": 0, "shutdown": 0},
+            "steady_runs": 0,
+            "barrier_waits": 0,
+            "barrier_wait_s": 0.0,
+            "arena_reused": False,
+            "struct_cache": "off",
+        }
+        #: Wall-clock seconds the parent spent inside steady commands
+        #: (busy/stall attribution denominators for rebalancing).
+        self.steady_seconds = 0.0
         graph, program = interp.graph, interp.program
 
         if interp.has_messaging:
@@ -153,19 +308,48 @@ class ParallelSession:
         except ValueError as exc:  # pragma: no cover - non-POSIX platform
             raise ParallelUnsafe(f"fork start method unavailable: {exc}")
 
-        from repro.mapping.strategies import partition_nodes
-
-        try:
-            part = partition_nodes(
-                interp.stream,
-                graph,
-                program.reps,
-                strategy,
-                self.cores,
-                work_profile=self.work_profile,
+        # Structural decisions (partition, batch sizing, capacity proofs)
+        # depend only on the graph's structure, so repeated sessions over
+        # the same plan fingerprint reuse them instead of re-running the
+        # model transforms and the proof replay.
+        self._struct_key = (
+            None if self.legacy else _struct_cache_key(
+                interp, strategy, self.cores, self.work_profile
             )
-        except Exception as exc:
-            raise ParallelUnsafe(f"strategy {strategy!r} cannot map this graph: {exc}")
+        )
+        cached = (
+            _STRUCT_CACHE.get(self._struct_key)
+            if self._struct_key is not None
+            else None
+        )
+        by_name = {n.name: n for n in graph.nodes}
+        if cached is not None:
+            struct_cache_stats["hits"] += 1
+            self.protocol["struct_cache"] = "hit"
+            part = {
+                by_name[name]: core
+                for name, core in cached["part"]
+                if name in by_name
+            }
+        else:
+            if self._struct_key is not None:
+                struct_cache_stats["misses"] += 1
+                self.protocol["struct_cache"] = "miss"
+            from repro.mapping.strategies import partition_nodes
+
+            try:
+                part = partition_nodes(
+                    interp.stream,
+                    graph,
+                    program.reps,
+                    strategy,
+                    self.cores,
+                    work_profile=self.work_profile,
+                )
+            except Exception as exc:
+                raise ParallelUnsafe(
+                    f"strategy {strategy!r} cannot map this graph: {exc}"
+                )
         used = sorted(set(part.values()))
         if len(used) < 2:
             raise ParallelUnsafe(
@@ -185,8 +369,13 @@ class ParallelSession:
             raise ParallelUnsafe("partition has no cross-worker traffic")
         items_per_period = {e: program.reps[e.src] * e.push_rate for e in cross}
         heaviest = max(items_per_period.values())
+        batch_max, batch_target = (
+            (_LEGACY_BATCH_MAX_PERIODS, _LEGACY_BATCH_TARGET_ITEMS)
+            if self.legacy
+            else (_BATCH_MAX_PERIODS, _BATCH_TARGET_ITEMS)
+        )
         self.batch_periods = max(
-            1, min(_BATCH_MAX_PERIODS, _BATCH_TARGET_ITEMS // max(1, heaviest))
+            1, min(batch_max, batch_target // max(1, heaviest))
         )
 
         self.specs: List[WorkerSpec] = []
@@ -220,19 +409,49 @@ class ParallelSession:
         # schedules at this session's exact firing granularity and proves a
         # minimal stall-free capacity per cross edge (repro.analysis.graph).
         # Allocated capacity adds REPRO_RING_SLACK extra batches of headroom
-        # (default 1) so pipelined producers can run ahead without touching
-        # the proof; REPRO_RING_SLACK=0 runs at the proved minimum.  If the
-        # replay cannot complete, the proof object itself carries the legacy
-        # guess (init peak + two batches + slop) with proved=False.
+        # (default 1) so producers can run a whole batch generation ahead —
+        # the double buffer — without touching the proof; REPRO_RING_SLACK=0
+        # runs at the proved minimum (still stall-free: the witness replay
+        # certifies deadlock freedom at the peak, barrier or no barrier).
+        # If the replay cannot complete, the proof object itself carries the
+        # legacy guess (init peak + two batches + slop) with proved=False.
         self.ring_proofs: Dict[object, object] = {}
-        try:
-            from repro.analysis.graph import ring_capacity_proofs
+        edge_key = lambda e: (e.src.name, e.dst.name, e.src_port, e.dst_port)
+        if cached is not None and "proofs" in cached:
+            try:
+                from repro.analysis.graph import RingProof
 
-            self.ring_proofs = ring_capacity_proofs(
-                program, self.node_wid, self.batch_periods, self.monolithic
+                stored = cached["proofs"]
+                self.ring_proofs = {
+                    e: RingProof(**stored[edge_key(e)])
+                    for e in cross
+                    if edge_key(e) in stored
+                }
+            except Exception:  # pragma: no cover - analysis layer unavailable
+                self.ring_proofs = {}
+        if not self.ring_proofs:
+            try:
+                from repro.analysis.graph import ring_capacity_proofs
+
+                self.ring_proofs = ring_capacity_proofs(
+                    program, self.node_wid, self.batch_periods, self.monolithic
+                )
+            except Exception:  # pragma: no cover - analysis layer unavailable
+                self.ring_proofs = {}
+        # Discipline.  Pipelined strategies always free-run.  DAG strategies
+        # free-run *double-buffered* when every cross edge has a proved
+        # capacity (the SL404 witness replay models no barriers, so it
+        # certifies barrier-free execution directly); an unproved edge — or
+        # the legacy env knob — keeps the per-batch barrier for safety.
+        all_proved = bool(self.ring_proofs) and all(
+            e in self.ring_proofs and self.ring_proofs[e].proved for e in cross
+        )
+        if strategy in _DAG_STRATEGIES:
+            self.discipline = (
+                "double_buffered" if all_proved and not self.legacy else "dag"
             )
-        except Exception:  # pragma: no cover - analysis layer unavailable
-            self.ring_proofs = {}
+        else:
+            self.discipline = "pipelined"
         try:
             slack_batches = max(0, int(os.environ.get("REPRO_RING_SLACK", "1")))
         except ValueError:
@@ -251,14 +470,48 @@ class ParallelSession:
                     + 64
                 )
             capacities.append(cap)
-        self._arena = RingArena(capacities)
+        if self._struct_key is not None and cached is None:
+            import dataclasses
+
+            entry: Dict[str, object] = {
+                "part": tuple((n.name, c) for n, c in part.items()),
+            }
+            if self.ring_proofs:
+                entry["proofs"] = {
+                    edge_key(e): dataclasses.asdict(p)
+                    for e, p in self.ring_proofs.items()
+                }
+            while len(_STRUCT_CACHE) >= _STRUCT_CACHE_MAX:
+                _STRUCT_CACHE.pop(next(iter(_STRUCT_CACHE)))
+            _STRUCT_CACHE[self._struct_key] = entry
+        # Blocked-wait policy: with more workers than CPUs, spinning steals
+        # the quantum the peer needs; yield immediately instead.  Legacy
+        # mode keeps the old unconditional spin so before/after benchmarks
+        # measure the real pre-overhaul engine.
+        if self.legacy:
+            self._spin = _SPIN_ITERS
+        else:
+            self._spin = 0 if self.n_workers > (os.cpu_count() or 1) else _SPIN_ITERS
+        self._ring_timeout = _stall_deadline()
+        segment = (
+            None
+            if self.legacy
+            else _adopt_warm_arena(RingArena.required_size(capacities))
+        )
+        self._arena = RingArena(capacities, segment=segment)
+        self.protocol["arena_reused"] = self._arena.reused
         self.channels: Dict[object, object] = {}
         for i, edge in enumerate(cross):
-            self.channels[edge] = self._arena.ring(
+            chan = self._arena.ring(
                 i,
                 name=f"{edge.src.name}->{edge.dst.name}",
                 initial=edge.initial,
+                timeout=self._ring_timeout,
+                spin=self._spin,
+                max_sleep=_MAX_SLEEP if self.legacy else _WAIT_SLEEP_CAP,
             )
+            chan.wid = 0  # the parent; forked children overwrite their copy
+            self.channels[edge] = chan
         for edge in graph.edges:
             if edge not in self.channels:
                 self.channels[edge] = ArrayChannel(
@@ -427,6 +680,9 @@ class ParallelSession:
     def _run_periods(self, spec: WorkerSpec, periods: int) -> None:
         left = periods
         batch = self.batch_periods
+        # Only the legacy "dag" discipline pays a per-batch barrier; the
+        # double_buffered and pipelined disciplines free-run through the
+        # whole request on ring backpressure alone.
         dag = self.discipline == "dag"
         done = self._steady_done
         while left > 0:
@@ -435,8 +691,18 @@ class ParallelSession:
             done += scale
             left -= scale
             if dag:
-                self._step_barrier.wait(_BARRIER_TIMEOUT)
+                self._barrier_wait(self._step_barrier)
         self._steady_done = done
+
+    def _barrier_wait(self, barrier) -> None:
+        """A counted barrier wait (each process accounts its own copy; only
+        the parent's counters are ever read)."""
+        t0 = time.perf_counter()
+        try:
+            barrier.wait(_BARRIER_TIMEOUT)
+        finally:
+            self.protocol["barrier_waits"] += 1
+            self.protocol["barrier_wait_s"] += time.perf_counter() - t0
 
     def _abort_barriers(self) -> None:
         for barrier in (self._start_barrier, self._finish_barrier, self._step_barrier):
@@ -474,8 +740,19 @@ class ParallelSession:
     def _worker_body(self, wid: int) -> None:
         self._exec_cache = {}
         self._wid = wid
+        for edge in self.ring_edges:
+            self.channels[edge].wid = wid  # per-process: who a stall blames
         spec = self.specs[wid]
         header = self._header
+        # Workers live only for this session and their steady-state
+        # allocations are acyclic numpy temporaries that refcounting frees
+        # on the spot — so run with the cyclic collector off and collect
+        # manually between commands, instead of letting threshold-triggered
+        # GC pauses land mid-run (which serializes every process on an
+        # oversubscribed host).  The fork also snapshots the parent
+        # mid-construction; pay that inherited debt up front.
+        gc.disable()
+        gc.collect()
         while True:
             try:
                 self._start_barrier.wait()
@@ -517,6 +794,9 @@ class ParallelSession:
                 self._finish_barrier.wait()
             except threading.BrokenBarrierError:
                 return
+            # Between commands the parent has already been released, so
+            # this collection happens off anyone's critical path.
+            gc.collect()
 
     # -- parent-side protocol --------------------------------------------------
 
@@ -524,6 +804,7 @@ class ParallelSession:
         if self._started:
             return
         self._started = True
+        self.protocol["fork_count"] += 1
         for wid in range(1, self.n_workers):
             proc = self._ctx.Process(
                 target=self._worker_loop,
@@ -540,18 +821,31 @@ class ParallelSession:
                 "parallel session is closed; build a fresh Interpreter"
             )
         self._start()
+        commands = self.protocol["commands"]
+        if cmd == _CMD_INIT:
+            commands["init"] += 1
+        elif cmd == _CMD_STEADY:
+            commands["steady"] += 1
+            self.protocol["steady_runs"] += 1
+        # The whole steady run — period count and (implicitly, via the
+        # restricted schedules forked into every worker) the chunk schedule
+        # — ships as this ONE header write.  Workers free-run through all
+        # `periods` with no further control traffic.
         self._header[1] = cmd
         self._header[2] = periods
         spec = self.specs[0]
+        t0 = time.perf_counter()
         try:
-            self._start_barrier.wait(_BARRIER_TIMEOUT)
+            self._barrier_wait(self._start_barrier)
             if cmd == _CMD_INIT:
                 self._exec_schedule(spec.init, 1)
             else:
                 self._run_periods(spec, periods)
-            self._finish_barrier.wait(_BARRIER_TIMEOUT)
+            self._barrier_wait(self._finish_barrier)
         except BaseException as exc:
             self._fail(exc)
+        if cmd == _CMD_STEADY:
+            self.steady_seconds += time.perf_counter() - t0
         if self.traced:
             self._collect_trace()
 
@@ -608,8 +902,16 @@ class ParallelSession:
             ) from cause
         if isinstance(cause, (RingAbort, RingStall, threading.BrokenBarrierError)):
             dead = [p.name for p in self._procs if p.exitcode not in (0, None)]
+            stalled = ""
+            if isinstance(cause, RingStall):
+                stalled = (
+                    f"; worker {cause.worker} stalled as {cause.side} on ring"
+                    f" {cause.edge!r} (need {cause.need}, occupancy"
+                    f" {cause.occupancy}/{cause.capacity})"
+                )
             raise StreamItError(
                 "parallel session aborted"
+                + stalled
                 + (f"; dead workers: {dead}" if dead else "")
             ) from cause
         node_name = getattr(cause, "_stream_node", None)
@@ -679,6 +981,12 @@ class ParallelSession:
         self._run_command(_CMD_INIT)
         for node, count in self.interp.program.init:
             fired[node] += count
+        # The parent runs worker 0's slice, so entering steady state with
+        # the collector debt from graph construction and forking unpaid
+        # slows its slice and starves every ring it feeds (measured 4-7x
+        # end-to-end on a single-CPU host).  Init is warmup by definition —
+        # settle the heap here, once, never inside a steady run.
+        gc.collect()
 
     def run_steady(self, fired: Dict[FlatNode, int], periods: int) -> None:
         if periods <= 0:
@@ -711,6 +1019,7 @@ class ParallelSession:
             if healthy:
                 try:
                     self._header[1] = _CMD_SHUTDOWN
+                    self.protocol["commands"]["shutdown"] += 1
                     self._start_barrier.wait(timeout=10)
                 except Exception:
                     self._arena.abort()
@@ -725,13 +1034,63 @@ class ParallelSession:
                     proc.terminate()
                     proc.join(timeout=10)
         finally:
-            self._procs = [p for p in self._procs if p.is_alive()]
+            stragglers = [p for p in self._procs if p.is_alive()]
+            # A cleanly-shut-down arena parks its shared segment in the warm
+            # pool so the next session of the same footprint skips
+            # shm_open+mmap; anything suspect (abort, failure, stuck worker)
+            # is released and unlinked outright.
+            clean = (
+                not self.legacy
+                and not self._failed
+                and not stragglers
+                and not self._arena.aborted
+            )
+            self._procs = stragglers
             # Drop the session's own header view, then detach + release via
             # the finalizer (which runs exactly once; later calls no-op).
             self._header = None
+            if clean:
+                _park_arena(self._arena)
             self._finalizer()
 
     # -- introspection ---------------------------------------------------------
+
+    def protocol_report(self) -> Dict[str, object]:
+        """Control-plane accounting: forks, commands, barrier waits.
+
+        ``commands["steady"] == steady_runs`` is the batched-protocol
+        invariant — exactly one control command per worker per steady run,
+        however many periods it spans.
+        """
+        report = dict(self.protocol)
+        report["commands"] = dict(self.protocol["commands"])
+        report["steady_seconds"] = self.steady_seconds
+        report["workers"] = self.n_workers
+        report["discipline"] = self.discipline
+        return report
+
+    def busy_report(self) -> Dict[int, Dict[str, float]]:
+        """Per-worker busy/stall attribution from the ring stall counters.
+
+        A worker's stall time is the sum of producer-side waits on rings it
+        feeds plus consumer-side waits on rings it drains (the counters are
+        cumulative across init + steady, read from shared memory); busy time
+        is the session's steady wall clock minus that.  The spread of
+        ``busy_share`` across workers is the skew the rebalancer acts on.
+        """
+        wall = self.steady_seconds
+        report: Dict[int, Dict[str, float]] = {
+            wid: {"stall_s": 0.0} for wid in range(self.n_workers)
+        }
+        for edge in self.ring_edges:
+            stats = self.channels[edge].stall_stats()
+            report[self.node_wid[edge.src]]["stall_s"] += stats["producer_stall_s"]
+            report[self.node_wid[edge.dst]]["stall_s"] += stats["consumer_stall_s"]
+        for row in report.values():
+            row["wall_s"] = wall
+            row["busy_s"] = max(0.0, wall - row["stall_s"])
+            row["busy_share"] = (row["busy_s"] / wall) if wall > 0 else 0.0
+        return report
 
     def layout_report(self) -> Dict[str, object]:
         """Worker topology summary (docs, tests, diagnostics)."""
@@ -739,6 +1098,7 @@ class ParallelSession:
             "strategy": self.strategy,
             "cores": self.cores,
             "discipline": self.discipline,
+            "protocol": self.protocol_report(),
             "workers": {
                 spec.wid: sorted(n.name for n in spec.nodes)
                 for spec in self.specs

@@ -23,7 +23,12 @@ Protocol (the classic Lamport queue):
 * blocking calls spin briefly, then sleep with backoff, re-checking a
   session-wide *abort* flag so a crashed peer unblocks everyone (raising
   :class:`RingAbort`) instead of deadlocking; a stall past ``timeout``
-  seconds raises :class:`RingStall` (suspected deadlock or dead peer);
+  seconds raises :class:`RingStall` (suspected deadlock or dead peer) — a
+  structured error carrying the blocked edge, worker, side, and occupancy.
+  On an *oversubscribed* host (more workers than CPUs) spinning only steals
+  the quantum the peer needs to make progress, so the wait policy adapts:
+  the session sets ``spin = 0`` and the loop yields to the scheduler
+  immediately instead of burning its timeslice re-reading the counters;
 * every blocked wait is *accounted*: producer-side waits (no space —
   backpressure) and consumer-side waits (no items — starvation) each bump
   an event count and a nanosecond total in the ring's own control block,
@@ -49,7 +54,8 @@ from multiprocessing import shared_memory
 from repro.errors import StreamItError
 from repro.runtime.channel import ChannelUnderflow
 
-#: int64 slots reserved for the arena header (slot 0: abort flag).
+#: int64 slots reserved for the arena header (slot 0: abort flag; slots
+#: 1-2 belong to the parallel session's command protocol).
 _HEADER_SLOTS = 8
 #: int64 slots per ring's control block.  Slot 0: pushed; slot 8: popped.
 #: Stall statistics share the writer's cache line (only the blocked side
@@ -59,10 +65,13 @@ _HEADER_SLOTS = 8
 _CTRL_SLOTS = 16
 _PROD_STALLS, _PROD_STALL_NS = 1, 2
 _CONS_STALLS, _CONS_STALL_NS = 9, 10
-#: Iterations of pure spinning before the wait loop starts yielding.
+#: Iterations of pure spinning before the wait loop starts yielding
+#: (dedicated-core hosts; oversubscribed sessions set spin to 0).
 _SPIN_ITERS = 200
 #: Longest backoff sleep (seconds) while blocked on a peer.
 _MAX_SLEEP = 0.001
+#: Shortest backoff sleep once the spin phase (if any) is exhausted.
+_MIN_SLEEP = 20e-6
 
 
 class RingAbort(StreamItError):
@@ -70,7 +79,32 @@ class RingAbort(StreamItError):
 
 
 class RingStall(StreamItError):
-    """A blocking ring operation made no progress within its timeout."""
+    """A blocking ring operation made no progress within its timeout.
+
+    Structured: ``edge`` (the ring's ``src->dst`` name), ``worker`` (the
+    blocked worker's id, or None outside a session), ``side``
+    (``"producer"``/``"consumer"``), ``need``, ``occupancy``, and
+    ``capacity`` identify exactly which transfer starved.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        edge: str = "",
+        worker: Optional[int] = None,
+        side: str = "",
+        need: int = 0,
+        occupancy: int = 0,
+        capacity: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.edge = edge
+        self.worker = worker
+        self.side = side
+        self.need = need
+        self.occupancy = occupancy
+        self.capacity = capacity
 
 
 def _align(n: int, to: int = 8) -> int:
@@ -83,10 +117,25 @@ class RingArena:
     The parent constructs the arena (``create=True``) before forking; child
     processes inherit the mapping through fork, so no name handshake or
     re-attach is needed.  The parent is responsible for :meth:`close` +
-    :meth:`unlink` at session teardown.
+    :meth:`unlink` at session teardown — or may :meth:`park` the segment
+    into a warm pool instead, handing an already-mapped ``segment`` to the
+    next arena with the same (or smaller) footprint so repeated sessions
+    pay ``shm_open`` + ``mmap`` once.
     """
 
-    def __init__(self, capacities: Sequence[int]) -> None:
+    @staticmethod
+    def required_size(capacities: Sequence[int]) -> int:
+        """Bytes a segment must hold for these ring capacities (pool sizing)."""
+        cursor = _HEADER_SLOTS * 8
+        for cap in capacities:
+            cursor += _CTRL_SLOTS * 8 + _align(cap * 8, 64)
+        return max(cursor, 64)
+
+    def __init__(
+        self,
+        capacities: Sequence[int],
+        segment: Optional[shared_memory.SharedMemory] = None,
+    ) -> None:
         offsets: List[int] = []
         cursor = _HEADER_SLOTS * 8
         for cap in capacities:
@@ -97,11 +146,33 @@ class RingArena:
         self._capacities = list(capacities)
         self._offsets = offsets
         self._channels: List["RingChannel"] = []
-        self.shm = shared_memory.SharedMemory(create=True, size=max(cursor, 64))
+        self.size_needed = max(cursor, 64)
+        self.reused = False
+        if segment is not None and segment.size >= self.size_needed:
+            # Adopt a parked segment: zero the header and every ring's
+            # control block (counters define the live contents, so stale
+            # data slots are unreachable and need no clearing).
+            self.shm = segment
+            self.reused = True
+            for off in offsets:
+                np.frombuffer(
+                    self.shm.buf, dtype=np.int64, count=_CTRL_SLOTS, offset=off
+                )[:] = 0
+        else:
+            if segment is not None:  # too small to adopt: retire it
+                try:
+                    segment.close()
+                    segment.unlink()
+                except Exception:  # pragma: no cover - already gone
+                    pass
+            self.shm = shared_memory.SharedMemory(
+                create=True, size=self.size_needed
+            )
         header = np.frombuffer(self.shm.buf, dtype=np.int64, count=_HEADER_SLOTS)
         header[:] = 0
         self._header = header
         self._unlinked = False
+        self._parked = False
 
     # -- abort flag ----------------------------------------------------------
 
@@ -121,6 +192,8 @@ class RingArena:
         name: str = "",
         initial: Iterable[float] = (),
         timeout: float = 120.0,
+        spin: int = _SPIN_ITERS,
+        max_sleep: float = _MAX_SLEEP,
     ) -> "RingChannel":
         """A :class:`RingChannel` view of ring ``index`` in this arena."""
         off = self._offsets[index]
@@ -131,7 +204,10 @@ class RingArena:
         data = np.frombuffer(
             self.shm.buf, dtype=np.float64, count=cap, offset=off + _CTRL_SLOTS * 8
         )
-        chan = RingChannel(name, ctrl, data, self._header, timeout=timeout)
+        chan = RingChannel(
+            name, ctrl, data, self._header,
+            timeout=timeout, spin=spin, max_sleep=max_sleep,
+        )
         init = list(initial)
         if init:
             chan.prefill(init)
@@ -140,17 +216,36 @@ class RingArena:
 
     # -- lifecycle -----------------------------------------------------------
 
+    def park(self) -> Optional[shared_memory.SharedMemory]:
+        """Detach every view and hand the still-mapped segment to the caller.
+
+        The caller (the warm-arena pool) takes ownership: the segment stays
+        open in this process so a later :class:`RingArena` can adopt it
+        without a fresh ``shm_open``/``mmap``.  Returns ``None`` if the
+        segment was already released.
+        """
+        if self._unlinked or self._parked:
+            return None
+        for chan in self._channels:
+            chan.detach()
+        self._header = None
+        self._parked = True
+        return self.shm
+
     def release(self, unlink: bool) -> None:
         """Drop this process's mapping; the creator also unlinks the segment.
 
         Numpy views pin the underlying ``memoryview``, so they must be
         dropped before ``close()`` or CPython raises ``BufferError``.
         Every channel this arena vended is detached here; callers holding
-        additional hand-made views must drop them first.
+        additional hand-made views must drop them first.  A parked arena
+        (see :meth:`park`) no longer owns the segment and is a no-op.
         """
         for chan in self._channels:
             chan.detach()
         self._header = None
+        if self._parked:
+            return
         try:
             self.shm.close()
         except BufferError:  # pragma: no cover - a live view escaped
@@ -171,7 +266,17 @@ class RingChannel:
     one may pop — nothing enforces this, the planner guarantees it.
     """
 
-    __slots__ = ("name", "_ctrl", "_data", "_header", "capacity", "timeout")
+    __slots__ = (
+        "name",
+        "_ctrl",
+        "_data",
+        "_header",
+        "capacity",
+        "timeout",
+        "spin",
+        "max_sleep",
+        "wid",
+    )
 
     def __init__(
         self,
@@ -180,6 +285,8 @@ class RingChannel:
         data: np.ndarray,
         header: np.ndarray,
         timeout: float = 120.0,
+        spin: int = _SPIN_ITERS,
+        max_sleep: float = _MAX_SLEEP,
     ) -> None:
         self.name = name
         self._ctrl = ctrl
@@ -187,6 +294,18 @@ class RingChannel:
         self._header = header
         self.capacity = data.size
         self.timeout = timeout
+        #: Pure-spin iterations before the wait loop yields.  Sessions set
+        #: this to 0 when workers outnumber CPUs: on a timesliced host the
+        #: peer needs this core, so yield immediately.
+        self.spin = spin
+        #: Ceiling on one backoff nap.  A blocked wait overshoots the peer's
+        #: finish by at most this much, so sessions cap it well below a
+        #: batch's compute time (the old 1 ms ceiling cost a visible slice
+        #: of every batch on an oversubscribed host).
+        self.max_sleep = max_sleep
+        #: The worker id blocked waits report in RingStall (set per-process
+        #: by the parallel session after fork; None outside one).
+        self.wid: Optional[int] = None
 
     # -- counters -------------------------------------------------------------
 
@@ -264,7 +383,10 @@ class RingChannel:
         t0 = time.perf_counter_ns()
         ctrl[stall_slot] += 1
         header = self._header
+        spin = self.spin
+        max_sleep = self.max_sleep
         spins = 0
+        sleep = _MIN_SLEEP
         deadline: Optional[float] = None
         try:
             while True:
@@ -273,20 +395,40 @@ class RingChannel:
                 if header[0]:
                     raise RingAbort(f"ring {self.name!r}: session aborted by a peer")
                 spins += 1
-                if spins <= _SPIN_ITERS:
+                if spins <= spin:
                     continue
                 if deadline is None:
                     deadline = time.monotonic() + self.timeout
-                elif time.monotonic() > deadline:
-                    what = "space" if for_space else "items"
-                    raise RingStall(
-                        f"ring {self.name!r}: waited {self.timeout:.0f}s for {need} "
-                        f"{what} (occupancy {self.occupancy}/{self.capacity}); "
-                        "suspected deadlock or dead peer"
-                    )
-                time.sleep(min(_MAX_SLEEP, 2e-6 * spins))
+                    # First escalation: yield the timeslice outright — on an
+                    # oversubscribed host the peer is runnable right now.
+                    time.sleep(0)
+                    continue
+                if time.monotonic() > deadline:
+                    raise self._stall_error(need, for_space)
+                time.sleep(sleep)
+                if sleep < max_sleep:
+                    sleep = min(max_sleep, sleep * 2.0)
         finally:
             ctrl[ns_slot] += time.perf_counter_ns() - t0
+
+    def _stall_error(self, need: int, for_space: bool) -> RingStall:
+        side = "producer" if for_space else "consumer"
+        what = "space" if for_space else "items"
+        who = f" (worker {self.wid})" if self.wid is not None else ""
+        return RingStall(
+            f"ring {self.name!r}: {side}{who} waited "
+            f"{self.timeout:.0f}s for {need} {what} (occupancy "
+            f"{self.occupancy}/{self.capacity}); suspected "
+            "deadlock or dead peer",
+            edge=self.name,
+            worker=self.wid,
+            side=side,
+            need=need,
+            occupancy=self.occupancy,
+            capacity=self.capacity,
+        )
+
+
 
     def wait_items(self, count: int) -> None:
         """Block until at least ``count`` items are readable."""

@@ -12,7 +12,12 @@ compiler inputs:
 * :mod:`repro.tune.cache` persists the result keyed by (plan
   fingerprint, host fingerprint), applied automatically by
   ``Interpreter(tune=True)`` and discarded with an ``SL306`` diagnostic
-  when either fingerprint no longer matches.
+  when either fingerprint no longer matches;
+* :func:`rebalance_parallel` reads a finished parallel session's
+  busy/stall attribution and, when the worker-busy skew exceeds a
+  threshold, stores a measured work profile so the next
+  ``Interpreter(engine="parallel", tune=True)`` re-cuts its partition
+  (:mod:`repro.tune.rebalance`).
 
 CLI: ``python -m repro.tune {tune,show,clear}``.
 """
@@ -28,6 +33,13 @@ from repro.tune.cache import (
     tuned_cache_summary,
 )
 from repro.tune.profile import Profile, calibrate
+from repro.tune.rebalance import (
+    DEFAULT_SKEW_THRESHOLD,
+    RebalanceReport,
+    busy_skew,
+    derive_work_profile,
+    rebalance_parallel,
+)
 from repro.tune.tuner import (
     CHUNK_LADDER,
     TuneResult,
@@ -37,11 +49,16 @@ from repro.tune.tuner import (
 
 __all__ = [
     "CHUNK_LADDER",
+    "DEFAULT_SKEW_THRESHOLD",
     "Profile",
+    "RebalanceReport",
     "TuneResult",
     "TunedParams",
+    "busy_skew",
     "calibrate",
     "clear_tuned_cache",
+    "derive_work_profile",
+    "rebalance_parallel",
     "host_fingerprint",
     "load_tuned",
     "render_result",

@@ -1,0 +1,186 @@
+"""Profile-driven partition rebalancing for the parallel engine.
+
+BENCH_parallel's worker-busy skews (w0: 1% vs w2: 47%) are a partitioning
+failure, not a runtime one: the static work estimates the mapping
+strategies cut on can be an order of magnitude off for real filter
+bodies.  This module closes that loop **between sessions**:
+
+1. after a parallel run, :func:`rebalance_parallel` reads the session's
+   per-worker busy/stall attribution (``ParallelSession.busy_report`` —
+   derived from the shared-memory ring stall counters, so it costs the
+   steady path nothing);
+2. if the busy skew exceeds a threshold, it derives a measured per-node
+   work profile (:func:`derive_work_profile`): each node's static work
+   estimate is rescaled by its worker's measured-busy share over its
+   static share, so the partitioner's *relative* weights match what the
+   host actually executed;
+3. the profile is stored in the PR-7 tuned-plan cache under the plan
+   fingerprint, so the **next** ``Interpreter(engine="parallel",
+   tune=True)`` over the same stream feeds it to
+   :func:`repro.mapping.strategies.partition_nodes` and re-cuts the
+   partition — which then flows through the PR-8 race checks and SL404
+   ring-capacity proofs exactly like any other partition.
+
+Rebalancing never mutates a live session: forked workers hold advanced
+filter state the parent cannot see, so re-cutting mid-run could not stay
+bit-exact.  The re-cut applies at the next session, where init replays
+from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Busy-share skew (max worker share / mean worker share) above which a
+#: partition is considered imbalanced enough to re-cut.  1.0 is perfect
+#: balance; compute workers idling behind one hot worker push it up.
+DEFAULT_SKEW_THRESHOLD = 1.25
+
+
+@dataclass
+class RebalanceReport:
+    """What one rebalancing pass observed and did."""
+
+    #: max/mean busy share across workers (1.0 = perfectly balanced).
+    skew: float
+    #: per-worker busy share of the steady wall clock, keyed by worker id.
+    busy_shares: Dict[int, float] = field(default_factory=dict)
+    #: measured per-node work profile (node name -> seconds per period);
+    #: empty when the pass did not trigger.
+    profile: Dict[str, float] = field(default_factory=dict)
+    #: threshold the skew was compared against.
+    threshold: float = DEFAULT_SKEW_THRESHOLD
+    #: whether the skew exceeded the threshold and a profile was derived.
+    triggered: bool = False
+    #: whether the profile was persisted to the tuned-plan cache.
+    stored: bool = False
+    #: plan fingerprint the profile was stored under ("" if not stored).
+    fingerprint: str = ""
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "skew": self.skew,
+            "busy_shares": dict(self.busy_shares),
+            "profile_nodes": len(self.profile),
+            "threshold": self.threshold,
+            "triggered": self.triggered,
+            "stored": self.stored,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def busy_skew(busy_report: Dict[int, Dict[str, float]]) -> float:
+    """Max worker busy share over the mean (1.0 = perfectly balanced).
+
+    ``busy_report`` is :meth:`ParallelSession.busy_report` output.  An
+    all-idle report (no steady run yet) returns 0.0 so callers can treat
+    it as "nothing to rebalance".
+    """
+    shares = [row.get("busy_share", 0.0) for row in busy_report.values()]
+    if not shares:
+        return 0.0
+    mean = sum(shares) / len(shares)
+    if mean <= 0.0:
+        return 0.0
+    return max(shares) / mean
+
+
+def derive_work_profile(session) -> Dict[str, float]:
+    """Measured per-node work (seconds per steady period) from a session.
+
+    The ring stall counters attribute each worker's steady wall clock into
+    busy vs blocked; the static work model attributes each worker's load
+    across its nodes.  Combining them: a node's measured work is its static
+    per-period estimate scaled by ``measured_busy_share(worker) /
+    static_share(worker)`` — the finest attribution available without
+    per-firing tracing, and exactly the *relative* signal
+    :func:`repro.mapping.strategies.apply_work_profile` normalizes anyway.
+    """
+    from repro.machine.model import ModelGraph
+
+    interp = session.interp
+    model = ModelGraph.from_flatgraph(interp.graph, interp.program.reps)
+    static_work = {actor.name: float(actor.work) for actor in model.actors}
+    total_static = sum(static_work.values()) or 1.0
+
+    busy = session.busy_report()
+    wall = sum(row.get("busy_s", 0.0) for row in busy.values()) or 1.0
+
+    # Static share of each worker's load.
+    static_by_wid: Dict[int, float] = {wid: 0.0 for wid in busy}
+    for node, wid in session.node_wid.items():
+        static_by_wid[wid] = static_by_wid.get(wid, 0.0) + static_work.get(
+            node.name, 0.0
+        )
+
+    profile: Dict[str, float] = {}
+    for node, wid in session.node_wid.items():
+        static = static_work.get(node.name, 0.0)
+        static_share = static_by_wid.get(wid, 0.0) / total_static
+        measured_share = busy.get(wid, {}).get("busy_s", 0.0) / wall
+        if static_share > 0.0:
+            scale = measured_share / static_share
+        else:  # a zero-static worker that measured busy: keep static weight
+            scale = 1.0
+        profile[node.name] = static * scale
+    return profile
+
+
+def rebalance_parallel(
+    interp,
+    threshold: float = DEFAULT_SKEW_THRESHOLD,
+    store: bool = True,
+) -> RebalanceReport:
+    """Measure a finished parallel run's busy skew; re-cut if it's bad.
+
+    Call after ``interp.run(...)`` on a live ``engine="parallel"``
+    interpreter.  When the skew exceeds ``threshold``, the measured work
+    profile is stored in the tuned-plan cache (under the same fingerprint
+    ``Interpreter(tune=True)`` resolves), so the next parallel interpreter
+    over this stream re-cuts its partition with measured weights.  The
+    session itself is untouched — it stays warm and bit-exact.
+    """
+    session = getattr(interp, "parallel", None)
+    if session is None:
+        raise ValueError(
+            "rebalance_parallel needs a live parallel session "
+            "(engine='parallel' without an SL304 downgrade)"
+        )
+    busy = session.busy_report()
+    shares = {wid: row.get("busy_share", 0.0) for wid, row in busy.items()}
+    skew = busy_skew(busy)
+    report = RebalanceReport(
+        skew=skew, busy_shares=shares, threshold=threshold
+    )
+    if skew < threshold:
+        return report
+    report.triggered = True
+    report.profile = derive_work_profile(session)
+    if store and report.profile:
+        from repro.runtime.plan import ExecutionPlan as _Plan
+        from repro.tune.cache import TunedParams, store_tuned, stream_fingerprint
+
+        senders, receivers = _Plan._messaging_endpoints(interp)
+        fingerprint = stream_fingerprint(
+            interp.graph, interp.program, senders, receivers
+        )
+        existing = interp.tuned
+        params = TunedParams(
+            chunk_periods=existing.chunk_periods if existing else None,
+            work=report.profile,
+            reserve_items=dict(existing.reserve_items) if existing else {},
+        )
+        path = store_tuned(
+            fingerprint,
+            params,
+            meta={
+                "source": "rebalance",
+                "skew": skew,
+                "strategy": session.strategy,
+                "cores": session.cores,
+            },
+        )
+        report.stored = path is not None
+        report.fingerprint = fingerprint if report.stored else ""
+    return report

@@ -11,6 +11,7 @@ every mapping strategy and require bit-identical output or a structured
 """
 
 import gc
+import os
 import threading
 import time
 import warnings
@@ -25,6 +26,7 @@ from repro.graph.builtins import ArraySource, CollectSink, Identity
 from repro.graph.composites import Pipeline
 from repro.mapping.strategies import STRATEGIES
 from repro.runtime import Interpreter
+from repro.runtime.parallel import clear_struct_cache, drain_warm_arenas
 from repro.runtime.ring import RingAbort, RingArena, RingStall
 
 STRATEGY_NAMES = tuple(STRATEGIES)
@@ -391,3 +393,261 @@ class TestParallelDifferential:
             assert layout["ring_edges"]  # cross-worker traffic exists
         finally:
             interp.close()
+
+
+# ---------------------------------------------------------------------------
+# Batched protocol, double-buffered discipline, warm reuse, structured stalls
+# ---------------------------------------------------------------------------
+
+
+def _fresh_parallel(builder, strategy="softpipe", cores=2, **opts):
+    """Build a parallel Interpreter on a cold pool/cache (skip on SL304)."""
+    drain_warm_arenas()
+    clear_struct_cache()
+    app = builder()
+    sink = _collect(app)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", EngineDowngradeWarning)
+        interp = Interpreter(
+            app, engine="parallel", strategy=strategy, cores=cores, **opts
+        )
+    if interp.engine_used != "parallel":
+        interp.close()
+        pytest.skip(f"parallel engine downgraded for {strategy}")
+    return interp, sink
+
+
+class _SlowFilter(Filter):
+    """Healthy filter that stalls its consumers once, for a long time.
+
+    The nap duration mixes in mutated state so the rate analyzer treats the
+    ``sleep`` argument as unknown (rates stay provably static); a concrete
+    foreign call would demote the filter to dynamic rates and downgrade the
+    engine before the stall path we want to exercise is ever reached.
+    """
+
+    def __init__(self, naps: float) -> None:
+        super().__init__(pop=1, push=1, name="slow")
+        self.naps = naps
+        self.count = 0
+
+    def work(self) -> None:
+        self.count += 1
+        if self.count == 3:
+            time.sleep(self.naps + 0.0 * self.count)
+        self.push(self.pop())
+
+
+class TestStructuredStall:
+    def test_ring_stall_carries_edge_worker_and_occupancy(self):
+        arena = RingArena([4])
+        try:
+            ring = arena.ring(0, name="a->b", timeout=0.05)
+            ring.wid = 3
+            with pytest.raises(RingStall) as excinfo:
+                ring.pop_block(2)
+            err = excinfo.value
+            assert err.edge == "a->b"
+            assert err.worker == 3
+            assert err.side == "consumer"
+            assert err.need == 2
+            assert err.occupancy == 0
+            assert err.capacity == 4
+            assert "a->b" in str(err) and "worker 3" in str(err)
+            # Producer side: fill the ring, then push into a full ring.
+            ring.push_block(np.arange(4.0))
+            with pytest.raises(RingStall) as excinfo:
+                ring.push(9.0)
+            assert excinfo.value.side == "producer"
+            assert excinfo.value.occupancy == 4
+        finally:
+            arena.release(unlink=True)
+
+    def test_starved_session_names_edge_and_worker(self, monkeypatch):
+        # One filter naps far past the stall deadline: whichever worker is
+        # blocked on the starved ring must raise a structured error naming
+        # the edge and the worker — not hang for the default two minutes.
+        monkeypatch.setenv("REPRO_RING_STALL_S", "0.4")
+        interp, _ = _fresh_parallel(lambda: _chain_app(_SlowFilter(3.0)))
+        t0 = time.perf_counter()
+        with pytest.raises(StreamItError) as excinfo:
+            interp.run(4)
+        elapsed = time.perf_counter() - t0
+        interp.close()
+        assert elapsed < 30.0
+        # Two valid shapes: the parent stalled (structured "session aborted;
+        # worker W stalled ... on ring 'src->dst'") or a child stalled first
+        # and its report carries the RingStall traceback.  Both must name
+        # the blocked edge and worker.
+        msg = str(excinfo.value)
+        chain = excinfo.value.__cause__
+        structured = (
+            isinstance(chain, RingStall) or "stalled" in msg or "RingStall" in msg
+        )
+        assert structured, msg
+        assert "->" in msg and "worker" in msg, msg
+
+
+class TestBatchedProtocol:
+    def test_one_steady_command_per_run_and_single_fork(self):
+        interp, sink = _fresh_parallel(ALL_APPS["FilterBank"])
+        try:
+            interp.run(3)
+            interp.run_steady(2)
+            interp.run_steady(4)
+            proto = interp.engine_report()["parallel"]["protocol"]
+        finally:
+            interp.close()
+        assert proto["fork_count"] == 1
+        assert proto["commands"]["init"] == 1
+        # O(1) control traffic: exactly one steady command per run() /
+        # run_steady() call, regardless of the periods each one covers.
+        assert proto["commands"]["steady"] == 3
+        assert proto["steady_runs"] == 3
+
+    def test_warm_session_reuse_is_bit_exact(self):
+        builder = ALL_APPS["FilterBank"]
+        ref, _ = _run(builder, "batched", periods=8)
+        interp, sink = _fresh_parallel(builder)
+        try:
+            interp.run(5)
+            interp.run_steady(3)
+            out = list(sink.collected)
+        finally:
+            interp.close()
+        assert out == ref
+
+    def test_no_leaked_segments_after_close_and_drain(self):
+        interp, _ = _fresh_parallel(ALL_APPS["FMRadio"])
+        segment = interp.parallel._arena.shm.name
+        interp.run(2)
+        interp.close()
+        drain_warm_arenas()
+        if os.path.isdir("/dev/shm"):
+            assert not os.path.exists(f"/dev/shm/{segment.lstrip('/')}")
+
+
+class TestDoubleBuffered:
+    @pytest.mark.parametrize("strategy", ("task", "data", "fine_grained"))
+    def test_dag_strategies_run_barrier_free_at_proved_capacity(
+        self, strategy, monkeypatch
+    ):
+        # REPRO_RING_SLACK=0 allocates exactly the certified capacity: the
+        # proofs alone must make the barrier-free run safe and bit-exact.
+        monkeypatch.setenv("REPRO_RING_SLACK", "0")
+        builder = ALL_APPS["FilterBank"]
+        ref, _ = _run(builder, "batched", periods=6)
+        interp, sink = _fresh_parallel(builder, strategy=strategy)
+        try:
+            assert interp.parallel.discipline == "double_buffered"
+            interp.run(4)
+            interp.run_steady(2)
+            proto = interp.parallel.protocol_report()
+            out = list(sink.collected)
+        finally:
+            interp.close()
+        # Start + finish per command only — zero per-batch step barriers.
+        commands = proto["commands"]["init"] + proto["commands"]["steady"]
+        assert proto["barrier_waits"] == 2 * commands
+        assert out == ref
+
+    def test_legacy_env_restores_dag_barriers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_LEGACY", "1")
+        builder = ALL_APPS["FilterBank"]
+        ref, _ = _run(builder, "batched", periods=6)
+        interp, sink = _fresh_parallel(builder, strategy="task")
+        try:
+            assert interp.parallel.discipline == "dag"
+            interp.run(6)
+            proto = interp.parallel.protocol_report()
+            out = list(sink.collected)
+        finally:
+            interp.close()
+        commands = proto["commands"]["init"] + proto["commands"]["steady"]
+        assert proto["barrier_waits"] > 2 * commands  # step barriers are back
+        assert out == ref
+
+    def test_proofs_certify_double_buffer_capacity(self):
+        interp, _ = _fresh_parallel(ALL_APPS["FilterBank"], strategy="task")
+        try:
+            session = interp.parallel
+            assert session.ring_proofs
+            for proof in session.ring_proofs.values():
+                if proof.proved:
+                    assert proof.batch_items > 0
+                    assert proof.db_capacity == proof.capacity + proof.batch_items
+        finally:
+            interp.close()
+
+
+class TestWarmStructures:
+    def test_second_session_adopts_arena_and_struct_cache(self):
+        builder = ALL_APPS["FilterBank"]
+        interp, _ = _fresh_parallel(builder)
+        first = interp.parallel.protocol_report()
+        interp.run(2)
+        interp.close()
+        assert first["arena_reused"] is False
+        assert first["struct_cache"] == "miss"
+
+        app = builder()
+        sink = _collect(app)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", EngineDowngradeWarning)
+            interp2 = Interpreter(app, engine="parallel", strategy="softpipe", cores=2)
+        try:
+            second = interp2.parallel.protocol_report()
+            interp2.run(2)
+            out = list(sink.collected)
+        finally:
+            interp2.close()
+            drain_warm_arenas()
+        assert second["arena_reused"] is True
+        assert second["struct_cache"] == "hit"
+        ref, _ = _run(builder, "batched", periods=2)
+        assert out == ref
+
+
+class TestRebalance:
+    def test_busy_skew_arithmetic(self):
+        from repro.tune import busy_skew
+
+        report = {
+            0: {"busy_s": 3.0, "stall_s": 1.0, "wall_s": 4.0, "busy_share": 0.75},
+            1: {"busy_s": 1.0, "stall_s": 3.0, "wall_s": 4.0, "busy_share": 0.25},
+        }
+        assert busy_skew(report) == pytest.approx(0.75 / 0.5)
+        assert busy_skew({}) == 0.0
+
+    def test_rebalance_stores_profile_and_retune_applies(
+        self, monkeypatch, tmp_path
+    ):
+        from repro.tune import rebalance_parallel
+
+        monkeypatch.setenv("REPRO_TUNED_CACHE", str(tmp_path))
+        builder = ALL_APPS["FilterBank"]
+        interp, _ = _fresh_parallel(builder)
+        try:
+            interp.run(6)
+            report = rebalance_parallel(interp, threshold=0.5)
+        finally:
+            interp.close()
+        assert report.triggered and report.stored
+        assert report.profile  # measured per-node work ratios
+        assert report.skew >= 1.0
+
+        app = builder()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", EngineDowngradeWarning)
+            interp2 = Interpreter(
+                app, engine="parallel", strategy="softpipe", cores=2, tune=True
+            )
+        try:
+            if interp2.engine_used != "parallel":
+                pytest.skip("parallel engine downgraded")
+            assert interp2.tuned is not None
+            assert interp2.tuned.work == report.profile
+            interp2.run(2)  # the re-cut partition must still run clean
+        finally:
+            interp2.close()
+            drain_warm_arenas()
