@@ -236,6 +236,13 @@ DTOA_CODEGEN_FLOOR = 25.0
 #: ``STREAMSCOPE_GUARD_TOL`` on noisy shared runners.
 TRACE_OVERHEAD_TOL = 0.02
 
+#: Always-on metrics tolerance for the guard's seventh gate: the same FIR
+#: measurement runs with the metrics registry *enabled* (the default), so
+#: its speedup must sit within this tighter fraction of the committed
+#: baseline — run-granularity counters must be ~free, not merely cheap.
+#: Override with ``REPRO_METRICS_GUARD_TOL`` on noisy shared runners.
+METRICS_OVERHEAD_TOL = 0.01
+
 #: Tuned-geomean tolerance for the guard's sixth gate: the geomean of the
 #: *tuned* codegen speedups at ``GUARD_SCALE`` must stay within this
 #: fraction of the *same run's* untuned codegen geomean over the same
@@ -253,7 +260,7 @@ PGO_GUARD_APPS = ("FIR", "FMRadio", "DToA", "DCT")
 def run_guard() -> None:
     """CI perf guard: neither fast engine may regress.
 
-    Six gates, cheapest first:
+    Seven gates, cheapest first:
 
     1. FIR alone at full scale stays >= 50x under the batched engine (the
        whole fast path — generic lift, fusion, superbatching — in seconds).
@@ -278,6 +285,11 @@ def run_guard() -> None:
        of the same run's untuned codegen geomean over the same apps.
        The chunk ladder contains the static default, so a tuned loss
        beyond noise means the tuner picked a lie.
+    7. The same FIR measurement — taken with the always-on metrics
+       registry *enabled* (the default) — stays within
+       ``METRICS_OVERHEAD_TOL`` (1%) of the committed baseline: the
+       run-granularity telemetry must be ~free, a tighter bound than the
+       2% tracing gate on the identical ratio.
 
     Writes ``BENCH_guard.json`` for artifact upload.
     """
@@ -349,6 +361,30 @@ def run_guard() -> None:
             f"{100 * tol:.0f}% below the committed baseline {baseline_fir:.1f}x"
         )
 
+    # Gate 7: the always-on metrics registry (enabled by default during
+    # every measurement above) must cost <= REPRO_METRICS_GUARD_TOL (1%)
+    # against the same committed FIR baseline — a tighter screw on the same
+    # machine-normalized ratio the 2% tracing gate watches.
+    from repro.obs.metrics import METRICS as _metrics_registry
+
+    metrics_tol = float(
+        os.environ.get("REPRO_METRICS_GUARD_TOL", METRICS_OVERHEAD_TOL)
+    )
+    if baseline_fir is not None and _metrics_registry.enabled:
+        metrics_floor = (1.0 - metrics_tol) * baseline_fir
+        print(
+            f"guard: metrics-enabled FIR = {speedup:.1f}x vs baseline "
+            f"{baseline_fir:.1f}x (floor {metrics_floor:.1f}x, "
+            f"tol {100 * metrics_tol:.0f}%)"
+        )
+        assert speedup >= metrics_floor, (
+            f"metrics-overhead guard tripped: FIR {speedup:.1f}x with the "
+            f"always-on registry enabled is more than {100 * metrics_tol:.0f}% "
+            f"below the committed baseline {baseline_fir:.1f}x"
+        )
+    elif not _metrics_registry.enabled:
+        print("guard: REPRO_METRICS=0 — skipping metrics-overhead gate")
+
     table = run_bench(periods_scale=GUARD_SCALE)
     geomean = table["geomean_speedup"]
 
@@ -407,6 +443,10 @@ def run_guard() -> None:
                     "codegen_floor": DTOA_CODEGEN_FLOOR,
                 },
                 "guard_scale": GUARD_SCALE,
+                "metrics": {
+                    "enabled": _metrics_registry.enabled,
+                    "tol": metrics_tol,
+                },
                 "geomean_speedup": geomean,
                 "geomean_speedup_codegen": table.get("geomean_speedup_codegen"),
                 "pgo": {

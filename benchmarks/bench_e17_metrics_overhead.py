@@ -1,0 +1,149 @@
+"""E17 — cost of the always-on metrics registry and flight recorder.
+
+PR 10 turned telemetry on by default: every ``run_steady()`` bumps a
+handful of counters, observes two histograms, and appends two flight
+events; cache layers mirror hit/miss increments; the parallel engine adds
+per-command accounting and a sampler thread.  The design claim is that all
+of it records at *run/command* granularity — never per period, firing, or
+item — so the cost is a constant per run, invisible next to any real
+workload.  This experiment measures that claim directly.
+
+Method: for each app x engine cell, measure best-of-``REPEATS`` throughput
+with the registry **enabled** (the shipped default) and **disabled**
+(``METRICS.disabled()``, the same code path with every record call turned
+into one attribute check), interleaving the arms so slow drift in a shared
+host hits both equally.  Overhead is ``1 - enabled/disabled``.  Two run
+shapes bracket the exposure:
+
+* **long runs** (one ``run_steady`` over many periods) — the realistic
+  case; per-run constants amortize to ~0;
+* **chopped runs** (``run_steady(1)`` in a loop) — the adversarial case;
+  every period pays the full per-run constant, bounding the worst possible
+  overhead a pathological caller could see.
+
+Writes ``BENCH_metrics_overhead.json`` at the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_e17_metrics_overhead.py [--smoke]
+"""
+
+import json
+import sys
+import time
+import warnings
+from pathlib import Path
+
+from repro.apps import ALL_APPS
+from repro.bench import geometric_mean
+from repro.errors import EngineDowngradeWarning
+from repro.graph.builtins import CollectSink
+from repro.obs.metrics import METRICS
+from repro.runtime import Interpreter
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_metrics_overhead.json"
+
+#: (name, periods) — sized so one arm runs ~a second under batched.
+APPS = (
+    ("FIR", 40000),
+    ("FMRadio", 8000),
+)
+
+ENGINES = ("batched", "codegen")
+REPEATS = 3
+
+
+def _measure(name: str, engine: str, periods: int, chopped: bool) -> float:
+    """items/second of one timed arm (construction outside the window)."""
+    app = ALL_APPS[name]()
+    sink = next(f for f in app.filters() if isinstance(f, CollectSink))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", EngineDowngradeWarning)
+        interp = Interpreter(app, check=False, engine=engine)
+        try:
+            interp.run(periods=2)
+            produced_before = len(sink.collected)
+            start = time.perf_counter()
+            if chopped:
+                for _ in range(periods):
+                    interp.run_steady(1)
+            else:
+                interp.run_steady(periods)
+            elapsed = time.perf_counter() - start
+        finally:
+            interp.close()
+    outputs = len(sink.collected) - produced_before
+    return outputs / elapsed if elapsed > 0 else float("inf")
+
+
+def measure_pair(name: str, engine: str, periods: int, chopped: bool) -> dict:
+    """Interleaved best-of-``REPEATS`` for the enabled and disabled arms."""
+    best_on = best_off = 0.0
+    for _ in range(REPEATS):
+        best_on = max(best_on, _measure(name, engine, periods, chopped))
+        with METRICS.disabled():
+            best_off = max(best_off, _measure(name, engine, periods, chopped))
+    overhead = 1.0 - best_on / best_off if best_off > 0 else 0.0
+    return {
+        "items_per_sec_enabled": best_on,
+        "items_per_sec_disabled": best_off,
+        "overhead_pct": 100.0 * overhead,
+    }
+
+
+def run_bench(scale: float = 1.0) -> dict:
+    table: dict = {}
+    ratios = []
+    for name, periods in APPS:
+        p = max(4, int(periods * scale))
+        for engine in ENGINES:
+            row = {
+                "long": measure_pair(name, engine, p, chopped=False),
+                # 1/40th of the periods: each one is a separate run_steady,
+                # so the per-run constant is paid p/40 times instead of once.
+                "chopped": measure_pair(
+                    name, engine, max(4, p // 40), chopped=True
+                ),
+            }
+            table[f"{name}:{engine}"] = row
+            ratios.append(
+                row["long"]["items_per_sec_enabled"]
+                / max(row["long"]["items_per_sec_disabled"], 1e-9)
+            )
+    table["geomean_enabled_over_disabled_long"] = geometric_mean(ratios)
+    return table
+
+
+def render(table: dict) -> str:
+    lines = [
+        "E17 — always-on metrics overhead (enabled vs disabled, best-of-%d)"
+        % REPEATS,
+        "",
+        f"{'cell':24s}{'shape':>9s}{'on (it/s)':>14s}{'off (it/s)':>14s}"
+        f"{'overhead':>10s}",
+    ]
+    for cell, row in table.items():
+        if not isinstance(row, dict):
+            continue
+        for shape in ("long", "chopped"):
+            r = row[shape]
+            lines.append(
+                f"{cell:24s}{shape:>9s}"
+                f"{r['items_per_sec_enabled']:>14.0f}"
+                f"{r['items_per_sec_disabled']:>14.0f}"
+                f"{r['overhead_pct']:>9.2f}%"
+            )
+    lines.append("")
+    lines.append(
+        "geomean enabled/disabled (long runs): "
+        f"{table['geomean_enabled_over_disabled_long']:.4f}"
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    table = run_bench(scale=0.01 if smoke else 1.0)
+    print(render(table))
+    if not smoke:
+        RESULT_PATH.write_text(json.dumps(table, indent=2) + "\n")
+        print(f"\nwrote {RESULT_PATH}")

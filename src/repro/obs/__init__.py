@@ -14,12 +14,20 @@ engines (see DESIGN.md, "Observability"):
 * exporters: Chrome trace-event JSON (Perfetto-loadable, one track per
   worker) via :meth:`MemoryTracer.write`, and the flat
   :meth:`MemoryTracer.metrics` dict the bench harness consumes;
+* the always-on layer: the process-wide :data:`METRICS` registry
+  (counters/gauges/log2 histograms with JSON + Prometheus export), the
+  :data:`FLIGHT` recorder (a bounded ring of coarse run events dumped
+  into error text and post-mortems), and the parallel engine's stall
+  watchdog (:mod:`repro.obs.watchdog`);
 * a CLI: ``python -m repro.obs report <trace.json>`` renders the
-  per-filter attribution table, ``... validate`` schema-checks a trace.
+  per-filter attribution table, ``... validate`` schema-checks a trace,
+  ``... monitor`` is a live top-style view over a running session's
+  published metrics, ``... flight`` dumps the flight recorder.
 
-Enable with ``Interpreter(app, trace=True)`` (inspect
+Enable tracing with ``Interpreter(app, trace=True)`` (inspect
 ``interp.tracer``), ``trace=<path>`` (a trace file is written on
-``close()``), or ``trace=<your MemoryTracer>``.
+``close()``), or ``trace=<your MemoryTracer>``.  Metrics and the flight
+recorder are on by default (``REPRO_METRICS=0`` disables).
 """
 
 from repro.obs.chrome import (
@@ -29,6 +37,14 @@ from repro.obs.chrome import (
     validate_trace,
 )
 from repro.obs.counters import HwmArrayChannel, channel_snapshot
+from repro.obs.metrics import (
+    METRICS,
+    MetricsRegistry,
+    obs_dir,
+    parse_prometheus,
+    prometheus_text,
+)
+from repro.obs.recorder import FLIGHT, FlightRecorder, format_flight_tail
 from repro.obs.report import aggregate_filters, render_report
 from repro.obs.tracer import (
     CAT_CORE,
@@ -56,15 +72,23 @@ __all__ = [
     "CAT_PLAN",
     "CAT_TELEPORT",
     "CAT_WORKER",
+    "FLIGHT",
+    "FlightRecorder",
     "HwmArrayChannel",
+    "METRICS",
     "MemoryTracer",
+    "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "TraceFormatError",
     "Tracer",
     "aggregate_filters",
     "channel_snapshot",
+    "format_flight_tail",
     "load_trace",
+    "obs_dir",
+    "parse_prometheus",
+    "prometheus_text",
     "render_report",
     "trace_summary",
     "validate_trace",

@@ -19,6 +19,23 @@ from repro.obs.chrome import track_names, trace_summary
 from repro.obs.tracer import SELF_TIME_CATS
 
 
+def _meta(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The ``repro.meta`` section, or ``{}`` — partial traces (other
+    producers, truncated files, pre-metadata crashes) may miss any level."""
+    repro = payload.get("repro")
+    if not isinstance(repro, dict):
+        return {}
+    meta = repro.get("meta")
+    return meta if isinstance(meta, dict) else {}
+
+
+def _num(value: Any, default: float = 0.0) -> float:
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return default
+
+
 def aggregate_filters(payload: Dict[str, Any]) -> Dict[str, Dict[str, float]]:
     """name -> {self_time_us, spans, firings, items, tids} over span events."""
     rows: Dict[str, Dict[str, Any]] = {}
@@ -26,29 +43,45 @@ def aggregate_filters(payload: Dict[str, Any]) -> Dict[str, Dict[str, float]]:
         if event.get("ph") != "X" or event.get("cat") not in SELF_TIME_CATS:
             continue
         row = rows.setdefault(
-            event["name"],
+            event.get("name", "?"),
             {"self_time_us": 0.0, "spans": 0, "firings": 0, "items": 0, "tids": set()},
         )
-        row["self_time_us"] += event.get("dur", 0.0)
+        row["self_time_us"] += _num(event.get("dur", 0.0))
         row["spans"] += 1
         args = event.get("args") or {}
-        row["firings"] += args.get("firings", 0)
-        row["items"] += args.get("items", 0)
+        row["firings"] += int(_num(args.get("firings", 0)))
+        row["items"] += int(_num(args.get("items", 0)))
         row["tids"].add(event.get("tid", 0))
     return rows
 
 
 def ring_stalls(payload: Dict[str, Any]) -> Dict[str, Dict[str, float]]:
-    """Ring name -> last stall-counter sample (counters are cumulative)."""
+    """Ring name -> last stall-counter sample (counters are cumulative).
+
+    Degrades gracefully on partial traces: counter events without names or
+    dict args are skipped, and a missing/odd-shaped ``meta.channels``
+    section simply contributes nothing.
+    """
     rings: Dict[str, Dict[str, float]] = {}
     for event in payload.get("traceEvents", []):
-        if event.get("ph") == "C" and event["name"].startswith("ring:"):
-            rings[event["name"][len("ring:"):]] = dict(event.get("args") or {})
+        name = event.get("name", "")
+        if (
+            event.get("ph") == "C"
+            and isinstance(name, str)
+            and name.startswith("ring:")
+        ):
+            args = event.get("args")
+            rings[name[len("ring:"):]] = dict(args) if isinstance(args, dict) else {}
     # Channel snapshots in the metadata cover rings the counters missed.
-    channels = payload.get("repro", {}).get("meta", {}).get("channels", {})
-    for name, row in channels.items():
-        if row.get("kind") == "ring" and name not in rings:
-            rings[name] = row
+    channels = _meta(payload).get("channels")
+    if isinstance(channels, dict):
+        for name, row in channels.items():
+            if (
+                isinstance(row, dict)
+                and row.get("kind") == "ring"
+                and name not in rings
+            ):
+                rings[name] = row
     return rings
 
 
@@ -66,9 +99,9 @@ def _attribute_stalls(
     for name, stats in rings.items():
         src, _, dst = name.partition("->")
         if src in rows:
-            rows[src]["stall_us"] += 1e6 * float(stats.get("producer_stall_s", 0.0))
+            rows[src]["stall_us"] += 1e6 * _num(stats.get("producer_stall_s", 0.0))
         if dst in rows:
-            rows[dst]["stall_us"] += 1e6 * float(stats.get("consumer_stall_s", 0.0))
+            rows[dst]["stall_us"] += 1e6 * _num(stats.get("consumer_stall_s", 0.0))
 
 
 def report_payload(payload: Dict[str, Any], top: Optional[int] = None) -> Dict[str, Any]:
@@ -79,7 +112,7 @@ def report_payload(payload: Dict[str, Any], top: Optional[int] = None) -> Dict[s
     trace without re-parsing the rendered table.
     """
     summary = trace_summary(payload)
-    meta = payload.get("repro", {}).get("meta", {})
+    meta = _meta(payload)
     rows = aggregate_filters(payload)
     rings = ring_stalls(payload)
     _attribute_stalls(rows, rings)
@@ -121,7 +154,7 @@ def render_report(payload: Dict[str, Any], top: Optional[int] = None) -> str:
     """The full textual report for one loaded trace."""
     summary = trace_summary(payload)
     names = track_names(payload)
-    meta = payload.get("repro", {}).get("meta", {})
+    meta = _meta(payload)
     rows = aggregate_filters(payload)
     rings = ring_stalls(payload)
     _attribute_stalls(rows, rings)
@@ -165,30 +198,35 @@ def render_report(payload: Dict[str, Any], top: Optional[int] = None) -> str:
         lines.append("cross-worker rings (cumulative stalls):")
         for name, stats in sorted(rings.items()):
             lines.append(
-                f"  {name}: backpressure {int(stats.get('producer_stalls', 0))}x/"
-                f"{float(stats.get('producer_stall_s', 0.0)) * 1e3:.1f} ms, "
-                f"starvation {int(stats.get('consumer_stalls', 0))}x/"
-                f"{float(stats.get('consumer_stall_s', 0.0)) * 1e3:.1f} ms"
+                f"  {name}: backpressure {int(_num(stats.get('producer_stalls', 0)))}x/"
+                f"{_num(stats.get('producer_stall_s', 0.0)) * 1e3:.1f} ms, "
+                f"starvation {int(_num(stats.get('consumer_stalls', 0)))}x/"
+                f"{_num(stats.get('consumer_stall_s', 0.0)) * 1e3:.1f} ms"
             )
 
     teleports = meta.get("teleports", [])
-    if teleports:
-        delivered = [t for t in teleports if t.get("delivered_n") is not None]
+    if isinstance(teleports, list) and teleports:
+        records = [t for t in teleports if isinstance(t, dict)]
+        delivered = [t for t in records if t.get("delivered_n") is not None]
         ok = sum(1 for t in delivered if t.get("sdep_ok"))
         lines.append("")
         lines.append(
-            f"teleport messages: {len(teleports)} sent, {len(delivered)} "
+            f"teleport messages: {len(records)} sent, {len(delivered)} "
             f"delivered, {ok}/{len(delivered)} at the exact SDEP boundary"
         )
         for t in delivered[:8]:
             lines.append(
-                f"  {t['sender']} -> {t['receiver']}.{t['method']} "
-                f"latency={t['latency']} threshold={t['threshold']} "
-                f"delivered_at={t['delivered_n']} "
+                f"  {t.get('sender', '?')} -> {t.get('receiver', '?')}"
+                f".{t.get('method', '?')} "
+                f"latency={t.get('latency', '?')} "
+                f"threshold={t.get('threshold', '?')} "
+                f"delivered_at={t.get('delivered_n')} "
                 f"(+{t.get('latency_iterations', '?')} firings)"
             )
 
     report = meta.get("engine_report", {})
+    if not isinstance(report, dict):
+        report = {}
     downgrades = report.get("downgrades", [])
     if report:
         lines.append("")
@@ -196,17 +234,19 @@ def render_report(payload: Dict[str, Any], top: Optional[int] = None) -> str:
             f"engine: requested {report.get('requested')!r}, "
             f"ran {report.get('used')!r}"
         )
-    for d in downgrades:
-        lines.append(f"  downgrade [{d.get('code')}]: {d.get('message')}")
+    if isinstance(downgrades, list):
+        for d in downgrades:
+            if isinstance(d, dict):
+                lines.append(f"  downgrade [{d.get('code')}]: {d.get('message')}")
 
     cache = meta.get("plan_cache")
-    if cache:
+    if isinstance(cache, dict) and cache:
         lines.append(
             f"plan cache: {cache.get('hits', 0)} hit(s), "
             f"{cache.get('misses', 0)} miss(es)"
         )
     cg = meta.get("codegen_cache")
-    if cg:
+    if isinstance(cg, dict) and cg:
         lines.append(
             f"codegen cache: memory {cg.get('mem_hits', 0)} hit(s) / "
             f"{cg.get('mem_misses', 0)} miss(es) "

@@ -115,11 +115,27 @@ class MemoryTracer(Tracer):
     when ``capacity`` is exceeded the oldest events fall off (and
     ``dropped`` counts them), so a long traced run degrades to a sliding
     window instead of unbounded memory.
+
+    ``capacity`` defaults to the ``REPRO_TRACE_CAP`` environment variable
+    (or 1,000,000 spans when unset) so long soak runs can shrink the
+    window — ~200 bytes/span means the default ring tops out near 200 MB —
+    without touching the code that constructs the tracer.
     """
 
     enabled = True
 
-    def __init__(self, capacity: int = 1_000_000) -> None:
+    DEFAULT_CAPACITY = 1_000_000
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is None:
+            import os
+
+            try:
+                capacity = max(
+                    1, int(os.environ.get("REPRO_TRACE_CAP", self.DEFAULT_CAPACITY))
+                )
+            except ValueError:
+                capacity = self.DEFAULT_CAPACITY
         self.capacity = int(capacity)
         self.events: deque = deque(maxlen=self.capacity)
         self.dropped = 0

@@ -65,15 +65,33 @@ _MEM_CACHE: "OrderedDict[str, types.CodeType]" = OrderedDict()
 _MEM_CACHE_MAX = 64
 _DISK_CACHE_MAX = 128
 
-#: Cumulative cache counters for both levels (process lifetime).
-codegen_cache_stats: Dict[str, int] = {
-    "mem_hits": 0,
-    "mem_misses": 0,
-    "disk_hits": 0,
-    "disk_misses": 0,
-    "mem_evictions": 0,
-    "disk_evictions": 0,
-}
+#: Cumulative cache counters for both levels (process lifetime); increments
+#: mirror into the always-on metrics registry as repro_codegen_cache_total,
+#: with the "mem_hits" keys split into {level="mem", event="hits"} labels.
+from repro.obs.metrics import METRICS as _METRICS
+from repro.obs.metrics import MeteredStats as _MeteredStats
+
+
+def _codegen_cache_labels(key: str) -> Dict[str, str]:
+    level, _, event = key.partition("_")
+    return {"level": level, "event": event}
+
+
+codegen_cache_stats: Dict[str, int] = _MeteredStats(
+    _METRICS.counter(
+        "repro_codegen_cache_total",
+        "Generated-module cache events by level (mem/disk)",
+    ),
+    _codegen_cache_labels,
+    {
+        "mem_hits": 0,
+        "mem_misses": 0,
+        "disk_hits": 0,
+        "disk_misses": 0,
+        "mem_evictions": 0,
+        "disk_evictions": 0,
+    },
+)
 
 DEFAULT_CACHE_DIR = ".repro_codegen"
 

@@ -49,6 +49,8 @@ from repro.graph.base import Filter, Stream
 from repro.graph.flatgraph import FILTER, JOINER, SPLITTER, FlatGraph, FlatNode
 from repro.graph.splitjoin import COMBINE, DUPLICATE, NULL, ROUND_ROBIN
 from repro.graph.validation import validate
+from repro.obs.metrics import METRICS
+from repro.obs.recorder import FLIGHT
 from repro.runtime.array_channel import ArrayChannel
 from repro.runtime.channel import Channel
 from repro.runtime.messaging import PendingMessage, Portal
@@ -58,6 +60,32 @@ from repro.scheduling.steady import ProgramSchedule, build_schedule
 
 #: Valid values for ``Interpreter(engine=...)``.
 ENGINES = ("scalar", "batched", "parallel", "codegen")
+
+# Always-on telemetry (repro.obs.metrics): families resolved once at import
+# so the per-run cost is a handful of dict adds.  Everything here records at
+# *run* granularity — never per period, firing, or item.
+_M_SESSIONS = METRICS.counter(
+    "repro_sessions_total", "Interpreter sessions by the engine that actually ran"
+)
+_M_RUNS = METRICS.counter("repro_runs_total", "run_steady() calls by engine")
+_M_PERIODS = METRICS.counter(
+    "repro_periods_total", "Steady-state periods executed by engine"
+)
+_M_ITEMS = METRICS.counter(
+    "repro_items_total", "Items moved across graph edges (rate-derived) by engine"
+)
+_M_RUN_SECONDS = METRICS.histogram(
+    "repro_run_seconds", "Wall-clock latency of one run_steady() call"
+)
+_M_RUN_ITEMS = METRICS.histogram(
+    "repro_run_items", "Rate-derived item volume of one run_steady() call"
+)
+_M_RUN_ERRORS = METRICS.counter(
+    "repro_run_errors_total", "run_steady() calls that raised, by engine"
+)
+_M_DOWNGRADES = METRICS.counter(
+    "repro_engine_downgrades_total", "Structured engine downgrades by SLxxx code"
+)
 
 
 class Interpreter:
@@ -293,6 +321,21 @@ class Interpreter:
                         code="SL303",
                     )
         self._apply_tuning()
+        # Rate-derived items per steady period (static rates make this
+        # exact): the per-run volume metric without counting anything at
+        # run time.
+        self._items_per_period = sum(
+            self.program.reps[e.src] * e.push_rate for e in self.graph.edges
+        )
+        if METRICS.enabled:
+            used = self.engine_used
+            _M_SESSIONS.inc(engine=used)
+            FLIGHT.record(
+                "engine_selected",
+                engine=used,
+                requested=self.engine,
+                **({"strategy": self.strategy} if used == "parallel" else {}),
+            )
 
     # -- profile-guided tuning ------------------------------------------------
 
@@ -344,6 +387,9 @@ class Interpreter:
             "static defaults (re-tune with tune='force' or python -m "
             "repro.tune)"
         )
+        if METRICS.enabled:
+            _M_DOWNGRADES.inc(code="SL306")
+            FLIGHT.record("engine_downgrade", code="SL306", reason=reason[:160])
         diagnostic = None
         try:
             from repro.analysis import Diagnostic
@@ -377,6 +423,9 @@ class Interpreter:
         self._tuned_info["applied"] = applied
 
     def _engine_downgrade(self, reason: str, code: str = "SL302") -> None:
+        if METRICS.enabled:
+            _M_DOWNGRADES.inc(code=code)
+            FLIGHT.record("engine_downgrade", code=code, reason=reason[:160])
         diagnostic = None
         try:
             from repro.analysis import Diagnostic
@@ -850,6 +899,36 @@ class Interpreter:
         self._run_steady_engine(periods)
 
     def _run_steady_engine(self, periods: int) -> None:
+        if not METRICS.enabled:
+            self._dispatch_steady(periods)
+            return
+        from time import perf_counter
+
+        engine = self.engine_used
+        FLIGHT.record("run_start", engine=engine, periods=periods)
+        t0 = perf_counter()
+        try:
+            self._dispatch_steady(periods)
+        except BaseException as exc:
+            FLIGHT.record(
+                "run_error", engine=engine, error=exc.__class__.__name__
+            )
+            _M_RUN_ERRORS.inc(engine=engine)
+            METRICS.maybe_publish()
+            raise
+        elapsed = perf_counter() - t0
+        items = periods * self._items_per_period
+        FLIGHT.record(
+            "run_end", engine=engine, periods=periods, seconds=round(elapsed, 6)
+        )
+        _M_RUNS.inc(engine=engine)
+        _M_PERIODS.inc(periods, engine=engine)
+        _M_ITEMS.inc(items, engine=engine)
+        _M_RUN_SECONDS.observe(elapsed, engine=engine)
+        _M_RUN_ITEMS.observe(items, engine=engine)
+        METRICS.maybe_publish()
+
+    def _dispatch_steady(self, periods: int) -> None:
         if self.parallel is not None:
             self.parallel.run_steady(self.fired, periods)
             return
@@ -905,6 +984,7 @@ class Interpreter:
         self.flush_trace()
         if self.parallel is not None:
             self.parallel.close()
+        METRICS.maybe_publish()
 
     def __enter__(self) -> "Interpreter":
         return self

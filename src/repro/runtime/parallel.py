@@ -68,6 +68,9 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import StreamItError
 from repro.graph.flatgraph import FILTER, FlatNode
+from repro.obs.metrics import METRICS
+from repro.obs.recorder import FLIGHT, format_flight_tail
+from repro.obs.watchdog import StallWatchdog, watchdog_enabled
 from repro.runtime.array_channel import ArrayChannel
 from repro.runtime.plan import make_node_executor
 from repro.runtime.ring import (
@@ -79,6 +82,24 @@ from repro.runtime.ring import (
     RingStall,
 )
 from repro.scheduling.steady import Schedule, restrict_schedule
+
+# Always-on telemetry: the counters mirror protocol_report() fields so a
+# Prometheus scrape sees the same control-plane accounting the tests assert.
+_M_FORKS = METRICS.counter(
+    "repro_parallel_forks_total", "Worker fork generations (1 per warm session)"
+)
+_M_COMMANDS = METRICS.counter(
+    "repro_parallel_commands_total", "Parent control commands by kind"
+)
+_M_BARRIER_WAITS = METRICS.counter(
+    "repro_parallel_barrier_waits_total", "Parent-side barrier waits"
+)
+_M_FAILURES = METRICS.counter(
+    "repro_parallel_failures_total", "Parallel session failures by kind"
+)
+_M_RING_STALLS = METRICS.counter(
+    "repro_ring_stalls_total", "RingStall timeouts by blocked side"
+)
 
 #: Command codes written to the arena header by the parent.
 _CMD_INIT, _CMD_STEADY, _CMD_SHUTDOWN = 1, 2, 3
@@ -549,6 +570,11 @@ class ParallelSession:
         self._started = False
         self._failed = False
         self._closed = False
+        #: Parent-side stall watchdog (repro.obs.watchdog), started with the
+        #: workers; the count already mirrored into metrics from
+        #: protocol["barrier_waits"].
+        self._watchdog: Optional[StallWatchdog] = None
+        self._barrier_waits_metered = 0
         # Safety net: release the shared segment even if close() is never
         # called (the callback references the arena and rings, never the
         # session, so it cannot keep the session alive).
@@ -814,6 +840,17 @@ class ParallelSession:
             )
             proc.start()
             self._procs.append(proc)
+        if METRICS.enabled:
+            _M_FORKS.inc()
+            FLIGHT.record(
+                "parallel_fork",
+                workers=self.n_workers - 1,
+                strategy=self.strategy,
+                discipline=self.discipline,
+            )
+            if watchdog_enabled():
+                self._watchdog = StallWatchdog(self)
+                self._watchdog.start()
 
     def _run_command(self, cmd: int, periods: int = 0) -> None:
         if self._closed or self._failed:
@@ -827,6 +864,10 @@ class ParallelSession:
         elif cmd == _CMD_STEADY:
             commands["steady"] += 1
             self.protocol["steady_runs"] += 1
+        if METRICS.enabled:
+            kind = "init" if cmd == _CMD_INIT else "steady"
+            _M_COMMANDS.inc(kind=kind)
+            FLIGHT.record("parallel_command", command=kind, periods=periods)
         # The whole steady run — period count and (implicitly, via the
         # restricted schedules forked into every worker) the chunk schedule
         # — ships as this ONE header write.  Workers free-run through all
@@ -846,6 +887,12 @@ class ParallelSession:
             self._fail(exc)
         if cmd == _CMD_STEADY:
             self.steady_seconds += time.perf_counter() - t0
+        if METRICS.enabled:
+            waits = self.protocol["barrier_waits"]
+            delta = waits - self._barrier_waits_metered
+            self._barrier_waits_metered = waits
+            if delta:
+                _M_BARRIER_WAITS.inc(delta)
         if self.traced:
             self._collect_trace()
 
@@ -878,7 +925,10 @@ class ParallelSession:
     def _fail(self, cause: BaseException) -> None:
         """Tear the session down after any mid-run failure and re-raise the
         most informative error (a worker's reported failure wins over the
-        parent's secondary Ring/Barrier symptom)."""
+        parent's secondary Ring/Barrier symptom).  Every raised error
+        carries the flight-recorder tail — failing filter, last command,
+        last stall suspicion — in one message, and the final metrics
+        snapshot is force-published for ``python -m repro.obs flight``."""
         self._failed = True
         self._arena.abort()
         self._abort_barriers()
@@ -891,41 +941,89 @@ class ParallelSession:
                 proc.join(timeout=10)
         while not self._errors.empty():
             reports.append(self._errors.get())
+        metered = METRICS.enabled
+        if metered and isinstance(cause, RingStall):
+            _M_RING_STALLS.inc(side=cause.side or "unknown")
+            FLIGHT.record(
+                "ring_stall",
+                edge=cause.edge,
+                worker=cause.worker,
+                side=cause.side,
+                need=cause.need,
+                occupancy=cause.occupancy,
+                capacity=cause.capacity,
+            )
         self.close()
-        if reports:
-            wid, node_name, slice_idx, period, span, tb = reports[0]
-            where = self._error_context(node_name, slice_idx, period, span)
-            if self.traced:
-                self._trace_worker_error(wid, node_name, slice_idx, period)
-            raise StreamItError(
-                f"parallel worker {wid} failed{where}:\n{tb}"
-            ) from cause
-        if isinstance(cause, (RingAbort, RingStall, threading.BrokenBarrierError)):
-            dead = [p.name for p in self._procs if p.exitcode not in (0, None)]
-            stalled = ""
-            if isinstance(cause, RingStall):
-                stalled = (
-                    f"; worker {cause.worker} stalled as {cause.side} on ring"
-                    f" {cause.edge!r} (need {cause.need}, occupancy"
-                    f" {cause.occupancy}/{cause.capacity})"
-                )
-            raise StreamItError(
-                "parallel session aborted"
-                + stalled
-                + (f"; dead workers: {dead}" if dead else "")
-            ) from cause
-        node_name = getattr(cause, "_stream_node", None)
-        if node_name is not None and not isinstance(cause, KeyboardInterrupt):
-            slice_idx = getattr(cause, "_stream_slice", None)
-            period = getattr(cause, "_stream_period", None)
-            span = getattr(cause, "_stream_period_span", 1)
-            where = self._error_context(node_name, slice_idx, period, span)
-            if self.traced:
-                self._trace_worker_error(0, node_name, slice_idx, period)
-            raise StreamItError(
-                f"parallel worker 0 failed{where}: {cause}"
-            ) from cause
-        raise cause
+        try:
+            if reports:
+                wid, node_name, slice_idx, period, span, tb = reports[0]
+                where = self._error_context(node_name, slice_idx, period, span)
+                if self.traced:
+                    self._trace_worker_error(wid, node_name, slice_idx, period)
+                if metered:
+                    kind = "ring_stall" if "RingStall" in tb else "worker_error"
+                    _M_FAILURES.inc(kind=kind)
+                    FLIGHT.record(
+                        "worker_error", worker=wid, filter=node_name, error=kind
+                    )
+                raise StreamItError(
+                    f"parallel worker {wid} failed{where}:\n{tb}"
+                    + self._flight_tail()
+                ) from cause
+            if isinstance(
+                cause, (RingAbort, RingStall, threading.BrokenBarrierError)
+            ):
+                dead = [p.name for p in self._procs if p.exitcode not in (0, None)]
+                stalled = ""
+                if isinstance(cause, RingStall):
+                    stalled = (
+                        f"; worker {cause.worker} stalled as {cause.side} on ring"
+                        f" {cause.edge!r} (need {cause.need}, occupancy"
+                        f" {cause.occupancy}/{cause.capacity})"
+                    )
+                if metered:
+                    _M_FAILURES.inc(
+                        kind="ring_stall"
+                        if isinstance(cause, RingStall)
+                        else "abort"
+                    )
+                raise StreamItError(
+                    "parallel session aborted"
+                    + stalled
+                    + (f"; dead workers: {dead}" if dead else "")
+                    + self._flight_tail()
+                ) from cause
+            node_name = getattr(cause, "_stream_node", None)
+            if node_name is not None and not isinstance(cause, KeyboardInterrupt):
+                slice_idx = getattr(cause, "_stream_slice", None)
+                period = getattr(cause, "_stream_period", None)
+                span = getattr(cause, "_stream_period_span", 1)
+                where = self._error_context(node_name, slice_idx, period, span)
+                if self.traced:
+                    self._trace_worker_error(0, node_name, slice_idx, period)
+                if metered:
+                    _M_FAILURES.inc(kind="worker_error")
+                    FLIGHT.record(
+                        "worker_error", worker=0, filter=node_name,
+                        error=cause.__class__.__name__,
+                    )
+                raise StreamItError(
+                    f"parallel worker 0 failed{where}: {cause}"
+                    + self._flight_tail()
+                ) from cause
+            raise cause
+        finally:
+            if metered:
+                try:
+                    METRICS.publish()
+                except Exception:  # pragma: no cover - telemetry best-effort
+                    pass
+
+    @staticmethod
+    def _flight_tail() -> str:
+        """The flight recorder's last events as an error-text suffix."""
+        tail = format_flight_tail(FLIGHT.events)
+        return f"\n{tail}" if tail else ""
 
     @staticmethod
     def _error_context(
@@ -1009,6 +1107,11 @@ class ParallelSession:
         if self._closed:
             return
         self._closed = True
+        # The watchdog reads ring counters straight from the arena; stop it
+        # before any view is detached so its last tick sees live memory.
+        if self._watchdog is not None:
+            self._watchdog.stop()
+            self._watchdog = None
         try:
             healthy = (
                 self._started

@@ -208,8 +208,18 @@ def single_topological_sweep(graph: FlatGraph, schedule) -> bool:
 _PLAN_CACHE: "OrderedDict[tuple, dict]" = OrderedDict()
 _PLAN_CACHE_MAX = 128
 
-#: Cumulative cache statistics (for tests and diagnostics).
-plan_cache_stats = {"hits": 0, "misses": 0, "evictions": 0}
+#: Cumulative cache statistics (for tests and diagnostics); increments
+#: mirror into the always-on metrics registry as repro_plan_cache_total.
+from repro.obs.metrics import METRICS as _METRICS
+from repro.obs.metrics import MeteredStats as _MeteredStats
+
+plan_cache_stats = _MeteredStats(
+    _METRICS.counter(
+        "repro_plan_cache_total", "Plan-analysis cache events (hit/miss/eviction)"
+    ),
+    lambda key: {"event": key},
+    {"hits": 0, "misses": 0, "evictions": 0},
+)
 
 
 def clear_plan_cache() -> None:

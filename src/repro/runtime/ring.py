@@ -65,6 +65,11 @@ _HEADER_SLOTS = 8
 _CTRL_SLOTS = 16
 _PROD_STALLS, _PROD_STALL_NS = 1, 2
 _CONS_STALLS, _CONS_STALL_NS = 9, 10
+#: While a side is blocked, its *need* slot holds how many items/slots the
+#: wait is for (zero when unblocked).  The parent's stall watchdog
+#: (:mod:`repro.obs.watchdog`) reads these cross-process to tell a merely
+#: slow ring from one whose peer will never deliver.
+_PROD_NEED, _CONS_NEED = 3, 11
 #: Iterations of pure spinning before the wait loop starts yielding
 #: (dedicated-core hosts; oversubscribed sessions set spin to 0).
 _SPIN_ITERS = 200
@@ -346,6 +351,16 @@ class RingChannel:
             "consumer_stall_s": float(ctrl[_CONS_STALL_NS]) * 1e-9,
         }
 
+    def blocked_needs(self) -> tuple:
+        """``(producer_need, consumer_need)`` — nonzero while a side is blocked.
+
+        A snapshot of the need slots the blocked ``_wait`` path maintains;
+        readable from any process sharing the arena (the watchdog's view of
+        who is waiting for what, racy by design).
+        """
+        ctrl = self._ctrl
+        return (int(ctrl[_PROD_NEED]), int(ctrl[_CONS_NEED]))
+
     def __len__(self) -> int:
         return int(self._ctrl[0] - self._ctrl[8])
 
@@ -380,8 +395,10 @@ class RingChannel:
         # nothing for this.
         stall_slot = _PROD_STALLS if for_space else _CONS_STALLS
         ns_slot = _PROD_STALL_NS if for_space else _CONS_STALL_NS
+        need_slot = _PROD_NEED if for_space else _CONS_NEED
         t0 = time.perf_counter_ns()
         ctrl[stall_slot] += 1
+        ctrl[need_slot] = need
         header = self._header
         spin = self.spin
         max_sleep = self.max_sleep
@@ -409,6 +426,7 @@ class RingChannel:
                 if sleep < max_sleep:
                     sleep = min(max_sleep, sleep * 2.0)
         finally:
+            ctrl[need_slot] = 0
             ctrl[ns_slot] += time.perf_counter_ns() - t0
 
     def _stall_error(self, need: int, for_space: bool) -> RingStall:

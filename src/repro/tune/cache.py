@@ -39,14 +39,24 @@ DEFAULT_CACHE_DIR = ".repro_tuned"
 
 #: Cumulative counters (process lifetime).  ``stale`` counts entries that
 #: existed but were discarded: plan/host fingerprint mismatch, format
-#: mismatch, or an unreadable/corrupt file.
-tuned_cache_stats: Dict[str, int] = {
-    "hits": 0,
-    "misses": 0,
-    "stale": 0,
-    "stores": 0,
-    "evictions": 0,
-}
+#: mismatch, or an unreadable/corrupt file.  Increments mirror into the
+#: always-on metrics registry as repro_tuned_cache_total.
+from repro.obs.metrics import METRICS as _METRICS
+from repro.obs.metrics import MeteredStats as _MeteredStats
+
+tuned_cache_stats: Dict[str, int] = _MeteredStats(
+    _METRICS.counter(
+        "repro_tuned_cache_total", "Tuned-plan cache events (hit/miss/stale/...)"
+    ),
+    lambda key: {"event": key},
+    {
+        "hits": 0,
+        "misses": 0,
+        "stale": 0,
+        "stores": 0,
+        "evictions": 0,
+    },
+)
 
 
 def cache_dir() -> Path:

@@ -158,9 +158,16 @@ def tune_stream(
     serves the parallel partitioner).
     """
     from repro.errors import EngineDowngradeWarning
+    from repro.obs.metrics import METRICS
+    from repro.obs.recorder import FLIGHT
     from repro.runtime.interpreter import Interpreter
     from repro.runtime.plan import ExecutionPlan
 
+    if METRICS.enabled:
+        METRICS.counter(
+            "repro_tune_runs_total", "tune_stream() calibration runs"
+        ).inc(engine=engine)
+        FLIGHT.record("tune_run", engine=engine)
     build = _builder_for(source)
     measure_engine = engine if engine in ("batched", "codegen") else "batched"
     budget = tune_budget() if budget_s is None else float(budget_s)

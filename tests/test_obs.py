@@ -32,6 +32,7 @@ from repro.obs import (
 from repro.obs.__main__ import main as obs_main
 from repro.obs.chrome import track_names
 from repro.runtime import Interpreter
+from repro.runtime.parallel import clear_struct_cache, drain_warm_arenas
 from repro.scheduling.sdep import delivery_on_boundary
 
 
@@ -144,6 +145,32 @@ class TestValidation:
         assert len(problems) == 5
 
 
+class TestTraceCapacity:
+    def test_env_capacity_bounds_the_ring(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CAP", "10")
+        tracer = MemoryTracer()
+        assert tracer.capacity == 10
+        for i in range(25):
+            tracer.instant(f"e{i}", "meta")
+        assert len(tracer.events) == 10
+        assert tracer.dropped == 15
+        # Sliding window: the oldest events fell off the front.
+        assert tracer.events[0]["name"] == "e15"
+        assert tracer.events[-1]["name"] == "e24"
+
+    def test_explicit_capacity_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CAP", "10")
+        assert MemoryTracer(capacity=3).capacity == 3
+
+    def test_garbage_env_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CAP", "a lot please")
+        assert MemoryTracer().capacity == MemoryTracer.DEFAULT_CAPACITY
+
+    def test_unset_env_uses_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_CAP", raising=False)
+        assert MemoryTracer().capacity == MemoryTracer.DEFAULT_CAPACITY
+
+
 # ---------------------------------------------------------------------------
 # Engine integration: tracing never changes output
 # ---------------------------------------------------------------------------
@@ -237,6 +264,67 @@ class TestEngineTracing:
 
 
 # ---------------------------------------------------------------------------
+# Warm-session reuse: one fork, many traced runs, one coherent trace
+# ---------------------------------------------------------------------------
+
+
+class TestWarmSessionTracing:
+    def test_repeated_runs_share_one_fork_and_stay_well_formed(self):
+        drain_warm_arenas()
+        clear_struct_cache()
+        app = ALL_APPS["FMRadio"]()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", EngineDowngradeWarning)
+            interp = Interpreter(
+                app, check=False, engine="parallel",
+                strategy="softpipe", cores=2, trace=True,
+            )
+        if interp.engine_used != "parallel":
+            interp.close()
+            pytest.skip("degenerate partition on this host")
+        try:
+            interp.run(periods=4)
+            interp.run_steady(4)
+            interp.run_steady(4)
+            report = interp.parallel.protocol_report()
+            payload = interp.tracer.chrome()
+        finally:
+            interp.close()
+
+        # One fork serves every run on the warm session; each steady run is
+        # exactly one protocol command per worker.
+        assert report["fork_count"] == 1
+        assert report["commands"]["steady"] >= 3
+
+        # The merged trace is schema-valid with per-worker tracks intact.
+        assert validate_trace(payload) == []
+        span_tids = {
+            e["tid"] for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["cat"] == CAT_WORKER
+        }
+        assert len(span_tids) >= 2
+        names = track_names(payload)
+        assert sum("worker" in n for n in names.values()) >= 2
+
+        # Ring counters are cumulative across runs: every series sampled
+        # more than once must be monotonically non-decreasing in record
+        # order — a reset between warm runs would break the invariant.
+        series: dict = {}
+        for e in payload["traceEvents"]:
+            if e.get("ph") != "C" or not e["name"].startswith("ring:"):
+                continue
+            for key, value in e["args"].items():
+                series.setdefault((e["name"], key), []).append(value)
+        assert series, "expected ring counter samples across warm runs"
+        multi = {k: v for k, v in series.items() if len(v) >= 2}
+        assert multi, "expected repeated samples of at least one ring series"
+        for (name, key), values in multi.items():
+            assert values == sorted(values), (
+                f"{name}.{key} went backwards across warm runs: {values}"
+            )
+
+
+# ---------------------------------------------------------------------------
 # Teleport latency vs SDEP
 # ---------------------------------------------------------------------------
 
@@ -295,6 +383,80 @@ class TestCli:
 
     def test_report_top_limits_rows(self, trace_file, capsys):
         assert obs_main(["report", str(trace_file), "--top", "1"]) == 0
+
+
+# ---------------------------------------------------------------------------
+# Partial traces: report/validate degrade gracefully, never traceback
+# ---------------------------------------------------------------------------
+
+
+class TestPartialTraces:
+    def _write(self, tmp_path, payload) -> str:
+        path = tmp_path / "partial.json"
+        path.write_text(
+            payload if isinstance(payload, str) else json.dumps(payload)
+        )
+        return str(path)
+
+    def test_report_without_repro_metadata_still_renders(self, tmp_path, capsys):
+        # A foreign but schema-valid trace: spans only, no "repro" section.
+        path = self._write(tmp_path, {
+            "traceEvents": [
+                {"name": "f", "cat": "filter", "ph": "X",
+                 "ts": 0.0, "dur": 5.0, "tid": 0},
+                {"name": "mark", "ph": "i", "ts": 1.0, "tid": 0},
+            ]
+        })
+        assert obs_main(["report", path]) == 0
+        out = capsys.readouterr().out
+        assert "streamscope report" in out
+        assert "f" in out
+
+    def test_report_tolerates_odd_shaped_metadata(self, tmp_path, capsys):
+        # Every metadata section the renderer touches, wrongly shaped or
+        # with non-numeric values: the report must still come out.
+        path = self._write(tmp_path, {
+            "traceEvents": [
+                {"name": "f", "cat": "filter", "ph": "X",
+                 "ts": 0.0, "dur": 5.0, "tid": 0,
+                 "args": {"firings": None, "items": "many"}},
+                {"name": "ring:a->b", "ph": "C", "ts": 1.0, "tid": 0,
+                 "args": {"producer_stall_s": "abc"}},
+            ],
+            "repro": {"meta": {
+                "channels": "not a dict",
+                "teleports": {"not": "a list"},
+                "engine_report": ["not", "a", "dict"],
+                "plan_cache": 7,
+                "codegen_cache": None,
+            }},
+        })
+        assert obs_main(["report", path]) == 0
+        out = capsys.readouterr().out
+        assert "streamscope report" in out
+        assert "a->b" in out
+
+    def test_report_truncated_json_is_a_clear_error(self, tmp_path, capsys):
+        path = self._write(tmp_path, '{"traceEvents": [{"name": "f", "ph"')
+        assert obs_main(["report", path]) == 1
+        err = capsys.readouterr().err
+        assert "streamscope" in err
+        assert "not valid JSON" in err
+
+    def test_report_on_unrenderable_content_exits_one(self, tmp_path, capsys):
+        # Schema-valid traceEvents but a "repro" section of the wrong type:
+        # deep in the renderer this raises, and the CLI turns it into a
+        # one-line diagnosis with exit 1 instead of a traceback.
+        path = self._write(tmp_path, {"traceEvents": [], "repro": ["?"]})
+        assert obs_main(["report", path]) == 1
+        err = capsys.readouterr().err
+        assert "cannot build report from this trace" in err
+        assert "truncated or from an incompatible producer" in err
+
+    def test_validate_on_malformed_content_exits_one(self, tmp_path, capsys):
+        path = self._write(tmp_path, {"traceEvents": [], "repro": ["?"]})
+        assert obs_main(["validate", path]) == 1
+        assert "malformed trace content" in capsys.readouterr().err
 
 
 # ---------------------------------------------------------------------------
